@@ -1,0 +1,383 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation section, each exercising the exact code path the full-scale
+// experiment runs (cmd/tcbench regenerates the complete artifacts; these
+// benches track the cost of their representative cells on reduced-size
+// graphs so `go test -bench .` stays quick). Page I/O — the paper's
+// primary metric — is reported alongside time via ReportMetric.
+package tcstudy_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tcstudy"
+	"tcstudy/internal/core"
+	"tcstudy/internal/experiments"
+	"tcstudy/internal/graphgen"
+)
+
+// benchNodes keeps benchmark graphs at 1/4 study scale with proportionally
+// scaled localities, preserving every family's shape.
+const benchNodes = 500
+
+type benchGraph struct {
+	g  *tcstudy.Graph
+	db *tcstudy.DB
+}
+
+var (
+	benchMu     sync.Mutex
+	benchGraphs = map[string]*benchGraph{}
+)
+
+// family returns a cached reduced-scale instance of one study family.
+func family(b *testing.B, name string) *benchGraph {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if bg, ok := benchGraphs[name]; ok {
+		return bg
+	}
+	var spec experiments.GraphSpec
+	for _, s := range experiments.StudyGraphs() {
+		if s.Name == name {
+			spec = s
+		}
+	}
+	if spec.Name == "" {
+		b.Fatalf("unknown family %s", name)
+	}
+	l := spec.Locality * benchNodes / 2000
+	if l < 2 {
+		l = 2
+	}
+	g, err := tcstudy.Generate(benchNodes, spec.OutDegree, l, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bg := &benchGraph{g: g, db: tcstudy.NewDB(g)}
+	benchGraphs[name] = bg
+	return bg
+}
+
+// runCell executes one (graph, algorithm, query, config) cell b.N times and
+// reports page I/O.
+func runCell(b *testing.B, name string, alg tcstudy.Algorithm, nSources int, cfg tcstudy.Config) {
+	b.Helper()
+	bg := family(b, name)
+	var sources []int32
+	if nSources > 0 {
+		sources = graphgen.SourceSet(benchNodes, nSources, 3)
+	}
+	var io int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bg.db.Run(alg, tcstudy.Query{Sources: sources}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io = res.Metrics.TotalIO()
+	}
+	b.ReportMetric(float64(io), "pageIO/op")
+}
+
+// BenchmarkTable2GraphParameters measures the Table 2 characterization
+// pass (levels, reduction, rectangle model, closure size).
+func BenchmarkTable2GraphParameters(b *testing.B) {
+	bg := family(b, "G5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bg.g.Stats(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3CostBreakdown measures BTC's full closure of G6 across the
+// study's buffer sizes.
+func BenchmarkTable3CostBreakdown(b *testing.B) {
+	for _, m := range []int{10, 20, 50} {
+		b.Run(fmt.Sprintf("M%d", m), func(b *testing.B) {
+			runCell(b, "G6", tcstudy.BTC, 0, tcstudy.Config{BufferPages: m})
+		})
+	}
+}
+
+// BenchmarkFig6HybridBlocking measures the blocking sweep on G9.
+func BenchmarkFig6HybridBlocking(b *testing.B) {
+	for _, il := range []float64{0, 0.1, 0.3} {
+		b.Run(fmt.Sprintf("ILIMIT%.1f", il), func(b *testing.B) {
+			runCell(b, "G9", tcstudy.HYB, 0, tcstudy.Config{BufferPages: 20, ILIMIT: il})
+		})
+	}
+}
+
+// BenchmarkFig7TreeAlgorithms measures the CTC tree-algorithm comparison on
+// the locality-200 family G5.
+func BenchmarkFig7TreeAlgorithms(b *testing.B) {
+	for _, alg := range []tcstudy.Algorithm{tcstudy.BTC, tcstudy.SPN, tcstudy.JKB, tcstudy.JKB2} {
+		b.Run(string(alg), func(b *testing.B) {
+			runCell(b, "G5", alg, 0, tcstudy.Config{BufferPages: 20})
+		})
+	}
+}
+
+// BenchmarkFig8HighSelectivity measures the high-selectivity PTC grid's
+// algorithms at s=10 on both study graphs.
+func BenchmarkFig8HighSelectivity(b *testing.B) {
+	for _, name := range []string{"G4", "G11"} {
+		for _, alg := range []tcstudy.Algorithm{tcstudy.BTC, tcstudy.BJ, tcstudy.JKB2, tcstudy.SRCH} {
+			b.Run(name+"/"+string(alg), func(b *testing.B) {
+				runCell(b, name, alg, 10, tcstudy.Config{BufferPages: 10})
+			})
+		}
+	}
+}
+
+// BenchmarkFig9SelectionEfficiency measures the tuple-generation accounting
+// path (BTC vs JKB2, whose selection efficiencies bracket the field).
+func BenchmarkFig9SelectionEfficiency(b *testing.B) {
+	for _, alg := range []tcstudy.Algorithm{tcstudy.BTC, tcstudy.JKB2} {
+		b.Run(string(alg), func(b *testing.B) {
+			runCell(b, "G4", alg, 5, tcstudy.Config{BufferPages: 10})
+		})
+	}
+}
+
+// BenchmarkFig10Unions measures the union-heavy SRCH cell.
+func BenchmarkFig10Unions(b *testing.B) {
+	runCell(b, "G4", tcstudy.SRCH, 20, tcstudy.Config{BufferPages: 10})
+}
+
+// BenchmarkFig11Marking measures the marking-optimization hot path (BTC on
+// the heavily redundant G11).
+func BenchmarkFig11Marking(b *testing.B) {
+	runCell(b, "G11", tcstudy.BTC, 10, tcstudy.Config{BufferPages: 10})
+}
+
+// BenchmarkFig12UnmarkedLocality measures the locality bookkeeping on the
+// deep G4.
+func BenchmarkFig12UnmarkedLocality(b *testing.B) {
+	runCell(b, "G4", tcstudy.BJ, 10, tcstudy.Config{BufferPages: 10})
+}
+
+// BenchmarkFig13BufferSize measures buffer sensitivity end to end.
+func BenchmarkFig13BufferSize(b *testing.B) {
+	for _, m := range []int{10, 50} {
+		b.Run(fmt.Sprintf("M%d", m), func(b *testing.B) {
+			runCell(b, "G11", tcstudy.JKB2, 10, tcstudy.Config{BufferPages: m})
+		})
+	}
+}
+
+// BenchmarkFig14LowSelectivity measures the low-selectivity regime (s a
+// quarter of the graph, the bench-scale analogue of s=500 at n=2000).
+func BenchmarkFig14LowSelectivity(b *testing.B) {
+	for _, alg := range []tcstudy.Algorithm{tcstudy.BTC, tcstudy.BJ, tcstudy.JKB2} {
+		b.Run(string(alg), func(b *testing.B) {
+			runCell(b, "G9", alg, benchNodes/4, tcstudy.Config{BufferPages: 20})
+		})
+	}
+}
+
+// BenchmarkTable4WidthPrediction measures the JKB2-vs-BTC pair on the
+// narrow and wide extremes that anchor Table 4.
+func BenchmarkTable4WidthPrediction(b *testing.B) {
+	for _, name := range []string{"G4", "G12"} {
+		for _, alg := range []tcstudy.Algorithm{tcstudy.BTC, tcstudy.JKB2} {
+			b.Run(name+"/"+string(alg), func(b *testing.B) {
+				runCell(b, name, alg, 5, tcstudy.Config{BufferPages: 10})
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMarking measures BTC with the marking optimization
+// disabled, the cost Table DESIGN.md's ablation quantifies.
+func BenchmarkAblationMarking(b *testing.B) {
+	b.Run("on", func(b *testing.B) {
+		runCell(b, "G5", tcstudy.BTC, 0, tcstudy.Config{BufferPages: 10})
+	})
+	b.Run("off", func(b *testing.B) {
+		runCell(b, "G5", tcstudy.BTC, 0, tcstudy.Config{BufferPages: 10, DisableMarking: true})
+	})
+}
+
+// BenchmarkSubstrates isolates the storage substrates under the closure
+// workload: restructuring only (relation probes + successor list writes).
+func BenchmarkSubstrates(b *testing.B) {
+	b.Run("restructure", func(b *testing.B) {
+		// SRCH with one source node exercises probe I/O with no list
+		// expansion to speak of.
+		runCell(b, "G5", tcstudy.SRCH, 1, tcstudy.Config{BufferPages: 10})
+	})
+	b.Run("condense", func(b *testing.B) {
+		bg := family(b, "G5")
+		arcs := bg.g.Arcs()
+		g := tcstudy.NewGraph(benchNodes, arcs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tcstudy.ClosureOfCyclic(g, tcstudy.BTC, tcstudy.Config{BufferPages: 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCoreUnion isolates the successor-list union inner loop by
+// running the expansion of a dense CTC with a pool large enough to stay
+// memory-resident.
+func BenchmarkCoreUnion(b *testing.B) {
+	bg := family(b, "G8")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bg.db.Run(core.BTC, tcstudy.Query{}, tcstudy.Config{BufferPages: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkRelatedWorkBaselines measures the iterative and matrix
+// baselines against BTC on one family (the relatedwork experiment's cells).
+func BenchmarkRelatedWorkBaselines(b *testing.B) {
+	for _, alg := range []tcstudy.Algorithm{tcstudy.BTC, tcstudy.SEMI, tcstudy.WARREN} {
+		b.Run(string(alg)+"/ctc", func(b *testing.B) {
+			runCell(b, "G2", alg, 0, tcstudy.Config{BufferPages: 10})
+		})
+		b.Run(string(alg)+"/ptc", func(b *testing.B) {
+			runCell(b, "G2", alg, 10, tcstudy.Config{BufferPages: 10})
+		})
+	}
+}
+
+// BenchmarkPathAggregates measures the generalized-closure extension.
+func BenchmarkPathAggregates(b *testing.B) {
+	for _, agg := range []tcstudy.PathAggregate{tcstudy.MinHops, tcstudy.MaxHops, tcstudy.PathCount} {
+		b.Run(string(agg), func(b *testing.B) {
+			bg := family(b, "G5")
+			b.ResetTimer()
+			var io int64
+			for i := 0; i < b.N; i++ {
+				res, err := bg.db.Paths(agg, nil, tcstudy.Config{BufferPages: 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				io = res.Metrics.TotalIO()
+			}
+			b.ReportMetric(float64(io), "pageIO/op")
+		})
+	}
+}
+
+// BenchmarkSessionWarmVsCold measures the warm-buffer session against
+// per-query cold pools.
+func BenchmarkSessionWarmVsCold(b *testing.B) {
+	bg := family(b, "G5")
+	sources := graphgen.SourceSet(benchNodes, 5, 3)
+	b.Run("cold", func(b *testing.B) {
+		var io int64
+		for i := 0; i < b.N; i++ {
+			res, err := bg.db.Successors(tcstudy.SRCH, sources, tcstudy.Config{BufferPages: 40})
+			if err != nil {
+				b.Fatal(err)
+			}
+			io = res.Metrics.TotalIO()
+		}
+		b.ReportMetric(float64(io), "pageIO/op")
+	})
+	b.Run("warm", func(b *testing.B) {
+		s, err := bg.db.NewSession(tcstudy.Config{BufferPages: 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Successors(tcstudy.SRCH, sources); err != nil {
+			b.Fatal(err) // prime the pool
+		}
+		b.ResetTimer()
+		var io int64
+		for i := 0; i < b.N; i++ {
+			res, err := s.Successors(tcstudy.SRCH, sources)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io = res.Metrics.TotalIO()
+		}
+		b.ReportMetric(float64(io), "pageIO/op")
+	})
+}
+
+// BenchmarkSchmitzCyclic measures the native cyclic closure (Schmitz)
+// against the condensation pipeline on a cyclic graph.
+func BenchmarkSchmitzCyclic(b *testing.B) {
+	// A cyclic variant of the G5 family: forward DAG arcs plus back arcs.
+	base := family(b, "G5")
+	arcs := base.g.Arcs()
+	n := benchNodes
+	for i := 0; i < len(arcs)/10; i++ {
+		arcs = append(arcs, tcstudy.Arc{
+			From: arcs[i].To, To: arcs[i].From, // a back arc closing a cycle
+		})
+	}
+	g := tcstudy.NewGraph(n, arcs)
+	db := tcstudy.NewDB(g)
+	b.Run("schmitz", func(b *testing.B) {
+		var io int64
+		for i := 0; i < b.N; i++ {
+			res, err := db.Run(tcstudy.SCHMITZ, tcstudy.Query{}, tcstudy.Config{BufferPages: 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			io = res.Metrics.TotalIO()
+		}
+		b.ReportMetric(float64(io), "pageIO/op")
+	})
+	b.Run("condense+btc", func(b *testing.B) {
+		var io int64
+		for i := 0; i < b.N; i++ {
+			cc, err := tcstudy.ClosureOfCyclic(g, tcstudy.BTC, tcstudy.Config{BufferPages: 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			io = cc.Metrics.TotalIO()
+		}
+		b.ReportMetric(float64(io), "pageIO/op")
+	})
+}
+
+// BenchmarkPlanner measures profile construction plus estimation.
+func BenchmarkPlanner(b *testing.B) {
+	bg := family(b, "G5")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bg.db.Plan(5, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrent measures an 8-query mixed batch.
+func BenchmarkConcurrent(b *testing.B) {
+	bg := family(b, "G5")
+	sources := graphgen.SourceSet(benchNodes, 4, 3)
+	reqs := []tcstudy.Request{
+		{Alg: tcstudy.BTC, Query: tcstudy.Query{}, Cfg: tcstudy.Config{BufferPages: 10}},
+		{Alg: tcstudy.SRCH, Query: tcstudy.Query{Sources: sources}, Cfg: tcstudy.Config{BufferPages: 10}},
+		{Alg: tcstudy.JKB2, Query: tcstudy.Query{Sources: sources}, Cfg: tcstudy.Config{BufferPages: 10}},
+		{Alg: tcstudy.BJ, Query: tcstudy.Query{Sources: sources}, Cfg: tcstudy.Config{BufferPages: 10}},
+		{Alg: tcstudy.SPN, Query: tcstudy.Query{}, Cfg: tcstudy.Config{BufferPages: 10}},
+		{Alg: tcstudy.SCHMITZ, Query: tcstudy.Query{}, Cfg: tcstudy.Config{BufferPages: 10}},
+		{Alg: tcstudy.WARREN, Query: tcstudy.Query{}, Cfg: tcstudy.Config{BufferPages: 10}},
+		{Alg: tcstudy.SEMI, Query: tcstudy.Query{Sources: sources}, Cfg: tcstudy.Config{BufferPages: 10}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range bg.db.RunConcurrent(reqs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Command tcquery runs a single transitive closure query with one of the
+// studied algorithms and prints the full metric record — the one-query
+// microscope the experiments are built from.
+//
+// The input graph is either generated (-n/-f/-l/-seed) or read from a file
+// of "src dst" lines (-input). Examples:
+//
+//	tcquery -alg btc -n 2000 -f 5 -l 200 -m 20
+//	tcquery -alg jkb2 -n 2000 -f 5 -l 20 -sources 3,250,1999 -m 10
+//	tcquery -alg srch -input graph.txt -sources 1 -show
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tcstudy/internal/core"
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+	"tcstudy/internal/planner"
+)
+
+func main() {
+	var (
+		alg        = flag.String("alg", "btc", "algorithm: btc, hyb, bj, srch, spn, jkb, jkb2, seminaive, warren, schmitz")
+		n          = flag.Int("n", 2000, "number of nodes (generated input)")
+		f          = flag.Int("f", 5, "average out-degree (generated input)")
+		l          = flag.Int("l", 200, "generation locality (generated input)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		input      = flag.String("input", "", "read arcs from file of \"src dst\" lines instead of generating")
+		dbDir      = flag.String("db", "", "open a saved database directory instead of building one")
+		saveDir    = flag.String("savedb", "", "after building the database, save it to this directory")
+		sources    = flag.String("sources", "", "comma-separated source nodes; empty = full closure")
+		m          = flag.Int("m", 10, "buffer pool pages")
+		pagePolicy = flag.String("pagepolicy", "lru", "page replacement policy")
+		listPolicy = flag.String("listpolicy", "smallest", "list replacement policy")
+		ilimit     = flag.Float64("ilimit", 0, "HYB diagonal block fraction of the pool")
+		show       = flag.Bool("show", false, "print the computed successor sets")
+		plan       = flag.Bool("plan", false, "print the planner's cost estimates before running")
+		agg        = flag.String("agg", "", "run a generalized-closure aggregate instead: minhops, maxhops, pathcount")
+	)
+	flag.Parse()
+
+	var db *core.Database
+	if *dbDir != "" {
+		var err error
+		if db, err = core.OpenDatabase(*dbDir); err != nil {
+			fatal(err)
+		}
+	} else {
+		var arcs []graph.Arc
+		nodes := *n
+		if *input != "" {
+			var err error
+			arcs, nodes, err = readArcs(*input)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			var err error
+			arcs, err = graphgen.Generate(graphgen.Params{Nodes: *n, OutDegree: *f, Locality: *l, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		db = core.NewDatabase(nodes, arcs)
+	}
+	if *saveDir != "" {
+		if err := core.SaveDatabase(db, *saveDir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "database saved to %s\n", *saveDir)
+	}
+
+	var q core.Query
+	if *sources != "" {
+		for _, part := range strings.Split(*sources, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				fatal(fmt.Errorf("bad source %q: %v", part, err))
+			}
+			q.Sources = append(q.Sources, int32(v))
+		}
+	}
+
+	if *plan {
+		arcs, err := db.Arcs()
+		if err != nil {
+			fatal(err)
+		}
+		prof, err := planner.BuildProfile(graph.New(db.N(), arcs), 16, 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("planner profile: H=%.1f W=%.1f reach~%.0f\n", prof.H, prof.W, prof.Reach)
+		for _, e := range planner.Estimates(prof, len(q.Sources), *m) {
+			fmt.Printf("  %-10s est. %8.0f I/O  (%s)\n", e.Alg, e.IO, e.Why)
+		}
+		fmt.Println()
+	}
+
+	cfg := core.Config{
+		BufferPages: *m,
+		PagePolicy:  *pagePolicy,
+		ListPolicy:  *listPolicy,
+		ILIMIT:      *ilimit,
+	}
+
+	if *agg != "" {
+		pres, err := core.RunPaths(db, core.PathAggregate(*agg), q, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		mt := pres.Metrics
+		fmt.Printf("aggregate            %s\n", mt.Algorithm)
+		fmt.Printf("graph                n=%d |G|=%d\n", db.N(), db.NumArcs())
+		fmt.Printf("query                %s\n", describe(q))
+		fmt.Printf("total page I/O       %d (%d restructuring + %d computation)\n",
+			mt.TotalIO(), mt.Restructure.Total(), mt.Compute.Total())
+		fmt.Printf("aggregate entries    %d over %d unions\n", mt.DistinctTuples, mt.ListUnions)
+		if *show {
+			var keys []int32
+			for k := range pres.Values {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, k := range keys {
+				fmt.Printf("%d -> %d reachable nodes\n", k, len(pres.Values[k]))
+			}
+		}
+		return
+	}
+
+	res, err := core.Run(db, core.Algorithm(*alg), q, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	mt := res.Metrics
+	fmt.Printf("algorithm            %s\n", mt.Algorithm)
+	fmt.Printf("graph                n=%d |G|=%d\n", db.N(), db.NumArcs())
+	fmt.Printf("query                %s\n", describe(q))
+	fmt.Printf("buffer               M=%d page=%s list=%s\n", *m, *pagePolicy, *listPolicy)
+	fmt.Printf("restructure I/O      %d reads + %d writes = %d (%s)\n",
+		mt.Restructure.Reads, mt.Restructure.Writes, mt.Restructure.Total(), mt.RestructureTime.Round(1e6))
+	fmt.Printf("compute I/O          %d reads + %d writes = %d (%s)\n",
+		mt.Compute.Reads, mt.Compute.Writes, mt.Compute.Total(), mt.ComputeTime.Round(1e6))
+	fmt.Printf("total page I/O       %d (estimated I/O time %s at 20ms/page)\n",
+		mt.TotalIO(), mt.EstimatedIOTime().Round(1e6))
+	fmt.Printf("buffer hit ratio     %.3f (computation phase)\n", mt.ComputeBuffer.HitRatio())
+	fmt.Printf("tuples generated     %d (%d duplicates)\n", mt.TuplesGenerated, mt.Duplicates)
+	fmt.Printf("tuples materialized  %d (source tuples %d, selection efficiency %.3f)\n",
+		mt.DistinctTuples, mt.SourceTuples, mt.SelectionEfficiency())
+	fmt.Printf("successors fetched   %d\n", mt.SuccessorsFetched)
+	fmt.Printf("list unions          %d\n", mt.ListUnions)
+	fmt.Printf("arcs considered      %d, marked %d (%.1f%%)\n",
+		mt.ArcsConsidered, mt.ArcsMarked, mt.MarkingPct())
+	fmt.Printf("unmarked locality    %.2f\n", mt.AvgUnmarkedLocality())
+	fmt.Printf("page splits          %d (lists moved %d, entries moved %d, overflows %d)\n",
+		mt.Store.Splits, mt.Store.ListsMoved, mt.Store.EntriesMoved, mt.Store.Overflows)
+	if mt.MagicNodes > 0 {
+		fmt.Printf("magic graph          %d nodes, %d arcs, H=%.1f W=%.1f (free from restructuring, Theorem 2)\n",
+			mt.MagicNodes, mt.MagicArcs, mt.MagicH, mt.MagicW)
+	}
+
+	if *show {
+		var keys []int32
+		for k := range res.Successors {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			succ := res.Successors[k]
+			sort.Slice(succ, func(i, j int) bool { return succ[i] < succ[j] })
+			fmt.Printf("%d -> %v\n", k, succ)
+		}
+	}
+}
+
+func describe(q core.Query) string {
+	if q.IsFull() {
+		return "full transitive closure"
+	}
+	return fmt.Sprintf("partial closure of %d source nodes %v", len(q.Sources), q.Sources)
+}
+
+func readArcs(path string) ([]graph.Arc, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var arcs []graph.Arc
+	maxNode := 0
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, 0, fmt.Errorf("%s:%d: want \"src dst\", got %q", path, line, sc.Text())
+		}
+		from, err1 := strconv.Atoi(fields[0])
+		to, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || from < 1 || to < 1 {
+			return nil, 0, fmt.Errorf("%s:%d: bad arc %q", path, line, sc.Text())
+		}
+		if from > maxNode {
+			maxNode = from
+		}
+		if to > maxNode {
+			maxNode = to
+		}
+		arcs = append(arcs, graph.Arc{From: int32(from), To: int32(to)})
+	}
+	return arcs, maxNode, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcquery:", err)
+	os.Exit(1)
+}

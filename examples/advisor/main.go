@@ -1,0 +1,80 @@
+// Choosing an algorithm: the study's practical payoff. Three differently
+// shaped graphs, one query each — the planner estimates every candidate's
+// page I/O from cheap statistics, picks one, and the example then measures
+// all candidates to show where the pick landed. This is Table 4's insight
+// (the rectangle model's width predicts JKB2 vs BTC) plus Figure 8's
+// (search wins high selectivity) running as a library feature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcstudy"
+)
+
+func main() {
+	type scenario struct {
+		name    string
+		f, l    int
+		sources int
+	}
+	scenarios := []scenario{
+		{"narrow+selective (G4-like)", 5, 10, 4},
+		{"wide+selective (G11-like)", 20, 1000, 4},
+		{"narrow, full closure", 5, 100, 0},
+	}
+	const n = 1500
+	cfgM := 10
+
+	for _, sc := range scenarios {
+		g, err := tcstudy.Generate(n, sc.f, sc.l, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db := tcstudy.NewDB(g)
+		st, err := g.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", sc.name)
+		fmt.Printf("graph: %d arcs, H=%.0f, W=%.0f; query: ", g.NumArcs(), st.H, st.W)
+		if sc.sources == 0 {
+			fmt.Println("full closure")
+		} else {
+			fmt.Printf("%d sources\n", sc.sources)
+		}
+
+		ests, err := db.Plan(sc.sources, cfgM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("planner picks %s (%s)\n", ests[0].Alg, ests[0].Why)
+
+		// Measure the plausible candidates to see how the pick did.
+		var sources []int32
+		if sc.sources > 0 {
+			sources = tcstudy.SourceSet(n, sc.sources, 9)
+		}
+		candidates := []tcstudy.Algorithm{tcstudy.BTC, tcstudy.JKB2, tcstudy.WARREN}
+		if sc.sources > 0 {
+			candidates = append(candidates, tcstudy.SRCH)
+		}
+		fmt.Printf("measured:")
+		bestIO := int64(1) << 62
+		var best tcstudy.Algorithm
+		for _, alg := range candidates {
+			res, err := db.Run(alg, tcstudy.Query{Sources: sources},
+				tcstudy.Config{BufferPages: cfgM})
+			if err != nil {
+				log.Fatal(err)
+			}
+			io := res.Metrics.TotalIO()
+			fmt.Printf("  %s=%d", alg, io)
+			if io < bestIO {
+				bestIO, best = io, alg
+			}
+		}
+		fmt.Printf("\nmeasured best: %s\n\n", best)
+	}
+}

@@ -1,0 +1,3 @@
+module tcstudy
+
+go 1.22

@@ -1,0 +1,117 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(200)
+	if s.Has(5) {
+		t.Fatal("new set has 5")
+	}
+	s.Add(5)
+	s.Add(63)
+	s.Add(64)
+	s.Add(199)
+	for _, v := range []int32{5, 63, 64, 199} {
+		if !s.Has(v) {
+			t.Fatalf("missing %d", v)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Fatal("Remove failed")
+	}
+	if s.Cap() < 200 {
+		t.Fatalf("Cap = %d", s.Cap())
+	}
+}
+
+func TestTestAndAdd(t *testing.T) {
+	s := New(10)
+	if s.TestAndAdd(3) {
+		t.Fatal("first TestAndAdd reported present")
+	}
+	if !s.TestAndAdd(3) {
+		t.Fatal("second TestAndAdd reported absent")
+	}
+}
+
+func TestClearOrCloneEqual(t *testing.T) {
+	a := New(128)
+	a.Add(1)
+	a.Add(100)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Add(50)
+	if a.Equal(b) {
+		t.Fatal("diverged sets equal")
+	}
+	a.Or(b)
+	if !a.Has(50) {
+		t.Fatal("Or missed element")
+	}
+	a.Clear()
+	if a.Count() != 0 {
+		t.Fatal("Clear left elements")
+	}
+	c := New(64)
+	if a.Equal(c) {
+		t.Fatal("different-capacity sets reported equal")
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	s := New(300)
+	want := []int32{0, 1, 63, 64, 65, 128, 299}
+	for _, v := range want {
+		s.Add(v)
+	}
+	var got []int32
+	s.ForEach(func(v int32) { got = append(got, v) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatchesMapProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(500)
+		ref := map[int32]bool{}
+		for i := 0; i < 1000; i++ {
+			v := int32(rng.Intn(500))
+			if rng.Intn(3) == 0 {
+				s.Remove(v)
+				delete(ref, v)
+			} else {
+				s.Add(v)
+				ref[v] = true
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for v := range ref {
+			if !s.Has(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package buffer implements the simulated buffer manager of the study:
+// a pool of M page frames over the simulated disk, with pluggable page
+// replacement policies (Section 5.1 of the paper). The pool counts hits and
+// misses; all disk traffic it generates is counted by the underlying
+// pagedisk.Disk, giving the paper's primary cost metric, page I/O.
+package buffer
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy chooses a victim frame when the pool must evict. Implementations
+// receive frame lifecycle events so they can maintain recency or arrival
+// order. Frames are identified by their index in the pool.
+//
+// Victim must return the index of an evictable frame (one for which
+// evictable(i) reports true) or -1 if no frame qualifies (all pinned).
+type Policy interface {
+	// Name reports the policy's short name (e.g. "lru").
+	Name() string
+	// Admitted is called when a page is loaded into frame i.
+	Admitted(i int)
+	// Touched is called on every access to the page in frame i.
+	Touched(i int)
+	// Removed is called when frame i is evicted or invalidated.
+	Removed(i int)
+	// Victim returns an evictable frame index, or -1.
+	Victim(evictable func(int) bool) int
+}
+
+// NewPolicy constructs a policy by name for a pool of n frames.
+// Known names: "lru", "mru", "fifo", "clock", "random".
+func NewPolicy(name string, n int) (Policy, error) {
+	switch name {
+	case "lru":
+		return newRecency(n, false), nil
+	case "mru":
+		return newRecency(n, true), nil
+	case "fifo":
+		return newFIFO(n), nil
+	case "clock":
+		return newClock(n), nil
+	case "random":
+		return newRandom(n, 1), nil
+	}
+	return nil, fmt.Errorf("buffer: unknown page replacement policy %q", name)
+}
+
+// PolicyNames lists the built-in page replacement policies.
+func PolicyNames() []string { return []string{"lru", "mru", "fifo", "clock", "random"} }
+
+// recency implements LRU and MRU with an intrusive doubly-linked list over
+// frame indices. head is least recently used, tail most recently used.
+type recency struct {
+	mru        bool
+	prev, next []int
+	head, tail int
+	present    []bool
+}
+
+func newRecency(n int, mru bool) *recency {
+	r := &recency{mru: mru, prev: make([]int, n), next: make([]int, n), head: -1, tail: -1, present: make([]bool, n)}
+	for i := range r.prev {
+		r.prev[i], r.next[i] = -1, -1
+	}
+	return r
+}
+
+func (r *recency) Name() string {
+	if r.mru {
+		return "mru"
+	}
+	return "lru"
+}
+
+func (r *recency) unlink(i int) {
+	if !r.present[i] {
+		return
+	}
+	p, n := r.prev[i], r.next[i]
+	if p >= 0 {
+		r.next[p] = n
+	} else {
+		r.head = n
+	}
+	if n >= 0 {
+		r.prev[n] = p
+	} else {
+		r.tail = p
+	}
+	r.prev[i], r.next[i] = -1, -1
+	r.present[i] = false
+}
+
+func (r *recency) pushTail(i int) {
+	r.prev[i], r.next[i] = r.tail, -1
+	if r.tail >= 0 {
+		r.next[r.tail] = i
+	} else {
+		r.head = i
+	}
+	r.tail = i
+	r.present[i] = true
+}
+
+func (r *recency) Admitted(i int) { r.unlink(i); r.pushTail(i) }
+func (r *recency) Touched(i int)  { r.unlink(i); r.pushTail(i) }
+func (r *recency) Removed(i int)  { r.unlink(i) }
+
+func (r *recency) Victim(evictable func(int) bool) int {
+	if r.mru {
+		for i := r.tail; i >= 0; i = r.prev[i] {
+			if evictable(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := r.head; i >= 0; i = r.next[i] {
+		if evictable(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// fifo evicts in order of admission, ignoring subsequent touches.
+type fifo struct {
+	r *recency
+}
+
+func newFIFO(n int) *fifo { return &fifo{r: newRecency(n, false)} }
+
+func (f *fifo) Name() string   { return "fifo" }
+func (f *fifo) Admitted(i int) { f.r.Admitted(i) }
+func (f *fifo) Touched(int)    {} // arrival order only
+func (f *fifo) Removed(i int)  { f.r.Removed(i) }
+func (f *fifo) Victim(ev func(int) bool) int {
+	return f.r.Victim(ev)
+}
+
+// clock implements the classic second-chance algorithm.
+type clock struct {
+	ref  []bool
+	used []bool
+	hand int
+}
+
+func newClock(n int) *clock {
+	return &clock{ref: make([]bool, n), used: make([]bool, n)}
+}
+
+func (c *clock) Name() string   { return "clock" }
+func (c *clock) Admitted(i int) { c.used[i] = true; c.ref[i] = true }
+func (c *clock) Touched(i int)  { c.ref[i] = true }
+func (c *clock) Removed(i int)  { c.used[i] = false; c.ref[i] = false }
+
+func (c *clock) Victim(evictable func(int) bool) int {
+	n := len(c.ref)
+	if n == 0 {
+		return -1
+	}
+	// Two sweeps suffice: the first clears reference bits, the second must
+	// find a victim among evictable frames if any exists.
+	for pass := 0; pass < 2*n; pass++ {
+		i := c.hand
+		c.hand = (c.hand + 1) % n
+		if !c.used[i] || !evictable(i) {
+			continue
+		}
+		if c.ref[i] {
+			c.ref[i] = false
+			continue
+		}
+		return i
+	}
+	// Everything evictable kept its reference bit set across both sweeps
+	// only if it was re-touched, which cannot happen inside Victim; fall
+	// back to any evictable frame.
+	for i := 0; i < n; i++ {
+		if c.used[i] && evictable(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// random picks a uniformly random evictable frame using a fixed seed so
+// runs are reproducible.
+type random struct {
+	rng  *rand.Rand
+	used []bool
+}
+
+func newRandom(n int, seed int64) *random {
+	return &random{rng: rand.New(rand.NewSource(seed)), used: make([]bool, n)}
+}
+
+func (r *random) Name() string   { return "random" }
+func (r *random) Admitted(i int) { r.used[i] = true }
+func (r *random) Touched(int)    {}
+func (r *random) Removed(i int)  { r.used[i] = false }
+
+func (r *random) Victim(evictable func(int) bool) int {
+	var cand []int
+	for i, u := range r.used {
+		if u && evictable(i) {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		return -1
+	}
+	return cand[r.rng.Intn(len(cand))]
+}

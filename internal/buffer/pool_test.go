@@ -1,0 +1,448 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"tcstudy/internal/pagedisk"
+)
+
+func newPool(t *testing.T, size int, policy string) (*Pool, *pagedisk.Disk, pagedisk.FileID) {
+	t.Helper()
+	d := pagedisk.New()
+	f := d.CreateFile("data")
+	pol, err := NewPolicy(policy, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(d, size, pol), d, f
+}
+
+// fill writes n pages whose first byte is the page number, bypassing the pool.
+func fill(t *testing.T, d *pagedisk.Disk, f pagedisk.FileID, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		p := d.Allocate(f)
+		var pg pagedisk.Page
+		pg[0] = byte(i)
+		if err := d.Write(f, p, &pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.ResetStats()
+}
+
+func TestGetHitAndMiss(t *testing.T) {
+	p, d, f := newPool(t, 4, "lru")
+	fill(t, d, f, 2)
+
+	h, err := p.Get(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Data()[0] != 0 {
+		t.Fatalf("page 0 contents = %d", h.Data()[0])
+	}
+	p.Unpin(&h, false)
+
+	h2, err := p.Get(f, 0) // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(&h2, false)
+
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss 1 hit", st)
+	}
+	if got := d.Stats().Reads; got != 1 {
+		t.Fatalf("disk reads = %d, want 1", got)
+	}
+}
+
+func TestEvictionWritesDirtyPages(t *testing.T) {
+	p, d, f := newPool(t, 1, "lru")
+	fill(t, d, f, 2)
+
+	h, err := p.Get(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data()[1] = 42
+	p.Unpin(&h, true)
+
+	// Bringing in page 1 must evict dirty page 0 and write it back.
+	h1, err := p.Get(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(&h1, false)
+
+	if d.Stats().Writes != 1 {
+		t.Fatalf("disk writes = %d, want 1 (dirty eviction)", d.Stats().Writes)
+	}
+	var pg pagedisk.Page
+	if err := d.Read(f, 0, &pg); err != nil {
+		t.Fatal(err)
+	}
+	if pg[1] != 42 {
+		t.Fatal("dirty page lost on eviction")
+	}
+}
+
+func TestCleanEvictionDoesNotWrite(t *testing.T) {
+	p, d, f := newPool(t, 1, "lru")
+	fill(t, d, f, 2)
+	h, _ := p.Get(f, 0)
+	p.Unpin(&h, false)
+	h1, _ := p.Get(f, 1)
+	p.Unpin(&h1, false)
+	if d.Stats().Writes != 0 {
+		t.Fatalf("clean eviction wrote %d pages", d.Stats().Writes)
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	p, d, f := newPool(t, 2, "lru")
+	fill(t, d, f, 3)
+
+	h0, _ := p.Get(f, 0)
+	h1, _ := p.Get(f, 1)
+	// Pool full of pinned pages: Get must fail with ErrNoFrames.
+	if _, err := p.Get(f, 2); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("err = %v, want ErrNoFrames", err)
+	}
+	p.Unpin(&h1, false)
+	h2, err := p.Get(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Resident(f, 0) {
+		t.Fatal("pinned page 0 was evicted")
+	}
+	p.Unpin(&h0, false)
+	p.Unpin(&h2, false)
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	p, d, f := newPool(t, 2, "lru")
+	fill(t, d, f, 3)
+	for _, pg := range []pagedisk.PageID{0, 1, 0} { // touch order: 0,1,0 -> LRU is 1
+		h, _ := p.Get(f, pg)
+		p.Unpin(&h, false)
+	}
+	h, _ := p.Get(f, 2)
+	p.Unpin(&h, false)
+	if p.Resident(f, 1) {
+		t.Fatal("LRU kept page 1, should have evicted it")
+	}
+	if !p.Resident(f, 0) {
+		t.Fatal("LRU evicted recently used page 0")
+	}
+}
+
+func TestMRUEvictsMostRecentlyUsed(t *testing.T) {
+	p, d, f := newPool(t, 2, "mru")
+	fill(t, d, f, 3)
+	for _, pg := range []pagedisk.PageID{0, 1} {
+		h, _ := p.Get(f, pg)
+		p.Unpin(&h, false)
+	}
+	h, _ := p.Get(f, 2)
+	p.Unpin(&h, false)
+	if p.Resident(f, 1) {
+		t.Fatal("MRU kept most recently used page 1")
+	}
+	if !p.Resident(f, 0) {
+		t.Fatal("MRU evicted page 0")
+	}
+}
+
+func TestFIFOIgnoresTouches(t *testing.T) {
+	p, d, f := newPool(t, 2, "fifo")
+	fill(t, d, f, 3)
+	for _, pg := range []pagedisk.PageID{0, 1, 0, 0} { // re-touching 0 must not save it
+		h, _ := p.Get(f, pg)
+		p.Unpin(&h, false)
+	}
+	h, _ := p.Get(f, 2)
+	p.Unpin(&h, false)
+	if p.Resident(f, 0) {
+		t.Fatal("FIFO kept first-in page 0")
+	}
+}
+
+func TestClockGivesSecondChance(t *testing.T) {
+	p, d, f := newPool(t, 2, "clock")
+	fill(t, d, f, 4)
+	// Load 0 and 1; both have ref bits set. A new page clears bits in a
+	// first sweep and evicts the first cleared frame in the second.
+	for _, pg := range []pagedisk.PageID{0, 1} {
+		h, _ := p.Get(f, pg)
+		p.Unpin(&h, false)
+	}
+	h, _ := p.Get(f, 2)
+	p.Unpin(&h, false)
+	if p.Resident(f, 0) && p.Resident(f, 1) {
+		t.Fatal("clock evicted nothing")
+	}
+}
+
+func TestAllPoliciesServeWorkload(t *testing.T) {
+	for _, name := range PolicyNames() {
+		t.Run(name, func(t *testing.T) {
+			p, d, f := newPool(t, 3, name)
+			fill(t, d, f, 10)
+			// Mixed access pattern; every Get must return correct contents.
+			seq := []pagedisk.PageID{0, 1, 2, 3, 1, 4, 5, 0, 9, 8, 7, 1, 2, 2, 6, 0}
+			for _, pg := range seq {
+				h, err := p.Get(f, pg)
+				if err != nil {
+					t.Fatalf("Get(%d): %v", pg, err)
+				}
+				if h.Data()[0] != byte(pg) {
+					t.Fatalf("page %d returned contents of page %d", pg, h.Data()[0])
+				}
+				p.Unpin(&h, false)
+			}
+			st := p.Stats()
+			if st.Hits+st.Misses != int64(len(seq)) {
+				t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, len(seq))
+			}
+		})
+	}
+}
+
+func TestGetNewAndFlush(t *testing.T) {
+	p, d, f := newPool(t, 2, "lru")
+	pg, h, err := p.GetNew(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data()[0] = 7
+	p.Unpin(&h, true)
+	if d.Stats().Writes != 0 {
+		t.Fatal("GetNew caused immediate write")
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Writes != 1 {
+		t.Fatalf("flush wrote %d pages, want 1", d.Stats().Writes)
+	}
+	var buf pagedisk.Page
+	if err := d.Read(f, pg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatal("fresh page contents lost")
+	}
+	// Second flush: nothing dirty.
+	before := d.Stats().Writes
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Writes != before {
+		t.Fatal("flush of clean pool wrote pages")
+	}
+}
+
+func TestFreshPageEvictionPersists(t *testing.T) {
+	p, d, f := newPool(t, 1, "lru")
+	pg, h, err := p.GetNew(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data()[0] = 9
+	p.Unpin(&h, false) // not marked dirty, but fresh pages must still persist
+	fill2 := d.Allocate(f)
+	var z pagedisk.Page
+	if err := d.Write(f, fill2, &z); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := p.Get(f, fill2) // evicts the fresh page
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(&h2, false)
+	var buf pagedisk.Page
+	if err := d.Read(f, pg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Fatal("fresh page dropped on eviction without write-back")
+	}
+}
+
+func TestDiscardFile(t *testing.T) {
+	p, d, f := newPool(t, 4, "lru")
+	g := d.CreateFile("tmp")
+	fill(t, d, f, 1)
+	d.Allocate(g)
+	var z pagedisk.Page
+	_ = d.Write(g, 0, &z)
+
+	hf, _ := p.Get(f, 0)
+	p.Unpin(&hf, false)
+	hg, _ := p.Get(g, 0)
+	hg.Data()[0] = 5
+	p.Unpin(&hg, true)
+
+	d.ResetStats()
+	p.DiscardFile(g)
+	if d.Stats().Writes != 0 {
+		t.Fatal("DiscardFile wrote pages")
+	}
+	if p.Resident(g, 0) {
+		t.Fatal("discarded page still resident")
+	}
+	if !p.Resident(f, 0) {
+		t.Fatal("DiscardFile dropped pages of another file")
+	}
+}
+
+func TestFlushFile(t *testing.T) {
+	p, d, f := newPool(t, 4, "lru")
+	g := d.CreateFile("g")
+	fill(t, d, f, 1)
+	d.Allocate(g)
+	var z pagedisk.Page
+	_ = d.Write(g, 0, &z)
+	d.ResetStats()
+
+	hf, _ := p.Get(f, 0)
+	hf.Data()[0] = 1
+	p.Unpin(&hf, true)
+	hg, _ := p.Get(g, 0)
+	hg.Data()[0] = 2
+	p.Unpin(&hg, true)
+
+	if err := p.FlushFile(g); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Writes != 1 {
+		t.Fatalf("FlushFile wrote %d pages, want 1", d.Stats().Writes)
+	}
+}
+
+func TestUnpinPanicsOnDoubleUnpin(t *testing.T) {
+	p, d, f := newPool(t, 2, "lru")
+	fill(t, d, f, 1)
+	h, _ := p.Get(f, 0)
+	p.Unpin(&h, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unpin did not panic")
+		}
+	}()
+	p.Unpin(&h, false)
+}
+
+func TestPinCountsNested(t *testing.T) {
+	p, d, f := newPool(t, 1, "lru")
+	fill(t, d, f, 2)
+	h1, _ := p.Get(f, 0)
+	h2, _ := p.Get(f, 0) // second pin of same page
+	if p.PinnedFrames() != 1 {
+		t.Fatalf("PinnedFrames = %d, want 1", p.PinnedFrames())
+	}
+	p.Unpin(&h1, false)
+	// Still pinned once: eviction must fail.
+	if _, err := p.Get(f, 1); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("err = %v, want ErrNoFrames", err)
+	}
+	p.Unpin(&h2, false)
+	h3, err := p.Get(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(&h3, false)
+}
+
+func TestIOErrorPropagates(t *testing.T) {
+	p, d, f := newPool(t, 1, "lru")
+	fill(t, d, f, 2)
+	d.FailAfter(0)
+	if _, err := p.Get(f, 0); !errors.Is(err, pagedisk.ErrIOInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty stats hit ratio != 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if got := s.HitRatio(); got != 0.75 {
+		t.Fatalf("HitRatio = %v, want 0.75", got)
+	}
+}
+
+func TestNewPolicyUnknown(t *testing.T) {
+	if _, err := NewPolicy("nope", 4); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPoolIOCountersMatchDisk(t *testing.T) {
+	// With a single pool on the disk, pool-attributed I/O must equal the
+	// disk's own counters for every operation mix.
+	p, d, f := newPool(t, 2, "lru")
+	fill(t, d, f, 6)
+	for _, pg := range []pagedisk.PageID{0, 1, 2, 0, 3, 4, 5, 1} {
+		h, err := p.Get(f, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Data()[3] = byte(pg)
+		p.Unpin(&h, true)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	dst := d.Stats()
+	if st.Reads != dst.Reads || st.Writes != dst.Writes {
+		t.Fatalf("pool I/O %d/%d, disk %d/%d", st.Reads, st.Writes, dst.Reads, dst.Writes)
+	}
+	if st.IO().Total() != dst.Total() {
+		t.Fatalf("IO() total %d != disk total %d", st.IO().Total(), dst.Total())
+	}
+}
+
+func TestTwoPoolsAttributeIOSeparately(t *testing.T) {
+	d := pagedisk.New()
+	f := d.CreateFile("data")
+	for i := 0; i < 4; i++ {
+		p := d.Allocate(f)
+		var pg pagedisk.Page
+		if err := d.Write(f, p, &pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.ResetStats()
+	polA, _ := NewPolicy("lru", 2)
+	polB, _ := NewPolicy("lru", 2)
+	a := New(d, 2, polA)
+	b := New(d, 2, polB)
+	// Pool a reads 3 pages; pool b reads 1.
+	for _, pg := range []pagedisk.PageID{0, 1, 2} {
+		h, err := a.Get(f, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Unpin(&h, false)
+	}
+	h, err := b.Get(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Unpin(&h, false)
+	if a.Stats().Reads != 3 || b.Stats().Reads != 1 {
+		t.Fatalf("attribution wrong: a=%d b=%d", a.Stats().Reads, b.Stats().Reads)
+	}
+	if d.Stats().Reads != 4 {
+		t.Fatalf("disk total %d, want 4", d.Stats().Reads)
+	}
+}

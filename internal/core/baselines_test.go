@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+)
+
+// Behavioural tests specific to the related-work baselines (Seminaive and
+// Blocked Warren); their answer correctness is covered by the shared
+// cross-validation tests, which iterate Algorithms().
+
+func TestSeminaiveSelectionEfficiencyIsOne(t *testing.T) {
+	_, db := randomDAG(t, 301, 200, 4, 30)
+	sources := graphgen.SourceSet(200, 5, 1)
+	res, err := Run(db, SEMI, Query{Sources: sources}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := res.Metrics.SelectionEfficiency(); eff != 1 {
+		t.Fatalf("Seminaive selection efficiency = %v, want 1 (it only derives source rows)", eff)
+	}
+}
+
+func TestSeminaiveIterationsTrackDepth(t *testing.T) {
+	// One join pass per iteration; iterations are bounded by the longest
+	// path from any source (level of the deepest source).
+	g, db := randomDAG(t, 302, 150, 3, 20)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxLevel int32
+	for v := 1; v <= g.N(); v++ {
+		if levels[v] > maxLevel {
+			maxLevel = levels[v]
+		}
+	}
+	res, err := Run(db, SEMI, Query{}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterations = path-length rounds; the last produces an empty delta.
+	if res.Metrics.ListUnions > int64(maxLevel) {
+		t.Fatalf("join passes = %d exceed max level %d", res.Metrics.ListUnions, maxLevel)
+	}
+	if res.Metrics.ListUnions < 2 {
+		t.Fatalf("suspiciously few join passes: %d", res.Metrics.ListUnions)
+	}
+}
+
+func TestSeminaiveLosesFullClosureToBTC(t *testing.T) {
+	// The related-work claim at test scale: iterating and re-sorting the
+	// accumulated result costs Seminaive far more I/O than BTC.
+	_, db := randomDAG(t, 303, 300, 4, 40)
+	rb, err := Run(db, BTC, Query{}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(db, SEMI, Query{}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Metrics.TotalIO() < 2*rb.Metrics.TotalIO() {
+		t.Fatalf("Seminaive CTC I/O %d not clearly above BTC's %d",
+			rs.Metrics.TotalIO(), rb.Metrics.TotalIO())
+	}
+}
+
+func TestWarrenPaysFullClosureOnSelections(t *testing.T) {
+	// The matrix covers all rows regardless of the query: once it exceeds
+	// the pool, a 2-source selection must cost on the order of the full
+	// closure (only the final flush differs).
+	_, db := randomDAG(t, 304, 1200, 4, 100)
+	full, err := Run(db, WARREN, Query{}, Config{BufferPages: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Run(db, WARREN, Query{Sources: []int32{3, 9}}, Config{BufferPages: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Metrics.TotalIO() < full.Metrics.TotalIO()/2 {
+		t.Fatalf("Warren selection I/O %d unexpectedly below full-closure I/O %d",
+			sel.Metrics.TotalIO(), full.Metrics.TotalIO())
+	}
+	// Contrast: SRCH exploits the selectivity by orders of magnitude.
+	srch, err := Run(db, SRCH, Query{Sources: []int32{3, 9}}, Config{BufferPages: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srch.Metrics.TotalIO()*4 > sel.Metrics.TotalIO() {
+		t.Fatalf("SRCH I/O %d not clearly below Warren's %d on a selective query",
+			srch.Metrics.TotalIO(), sel.Metrics.TotalIO())
+	}
+}
+
+func TestWarrenRejectsOversizedGraphs(t *testing.T) {
+	// One matrix row must fit a page: at most PageSize*8-8 nodes.
+	n := 17000
+	db := NewDatabase(n, []graph.Arc{{From: 1, To: 2}})
+	if _, err := Run(db, WARREN, Query{}, Config{BufferPages: 8}); err == nil {
+		t.Fatal("oversized matrix accepted")
+	}
+	// The graph algorithms handle the same input fine.
+	if _, err := Run(db, BTC, Query{}, Config{BufferPages: 8}); err != nil {
+		t.Fatalf("BTC on 17000 nodes: %v", err)
+	}
+}
+
+func TestWarrenBlockedAcrossPoolSizes(t *testing.T) {
+	// Different pool sizes change the blocking but never the answer.
+	g, db := randomDAG(t, 305, 250, 4, 50)
+	want := refSuccessors(t, g, nil)
+	for _, m := range []int{4, 6, 12, 40} {
+		res, err := Run(db, WARREN, Query{}, Config{BufferPages: m})
+		if err != nil {
+			t.Fatalf("M=%d: %v", m, err)
+		}
+		checkAnswer(t, WARREN, res.Successors, want, true, g)
+	}
+}
+
+func TestBaselinesOnEmptyGraph(t *testing.T) {
+	db := NewDatabase(4, nil)
+	for _, alg := range []Algorithm{SEMI, WARREN} {
+		res, err := Run(db, alg, Query{Sources: []int32{1}}, Config{BufferPages: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Successors[1]) != 0 {
+			t.Fatalf("%s produced successors on empty graph", alg)
+		}
+	}
+}

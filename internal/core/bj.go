@@ -1,0 +1,33 @@
+package core
+
+// runBJ executes Jiang's BFS algorithm (Section 3.3): identical to BTC
+// except that the restructuring phase applies the single-parent
+// optimization to the magic graph before the successor lists are built.
+// For a full closure no non-source node can be eliminated and BJ degrades
+// to exactly BTC, as the paper notes in Section 6.2.
+func (e *engine) runBJ() error {
+	if err := e.timedPhase(true, func() error {
+		adj, err := e.discover()
+		if err != nil {
+			return err
+		}
+		if !e.q.IsFull() {
+			adj = e.singleParentReduce(adj)
+		}
+		return e.buildLists(adj)
+	}); err != nil {
+		return err
+	}
+	if err := e.timedPhase(false, func() error {
+		exp := newExpander(e.db.n)
+		for i := len(e.order) - 1; i >= 0; i-- {
+			if err := e.expandNode(e.order[i], exp); err != nil {
+				return err
+			}
+		}
+		return e.finalizeFlat()
+	}); err != nil {
+		return err
+	}
+	return e.collectFlatAnswer()
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tcstudy/internal/slist"
+)
+
+// Concurrent query execution. The stored relations are immutable and the
+// simulated disk is mutex-guarded, so independent queries can run in
+// parallel, each with its own buffer pool and its own temporary files.
+// Page I/O is counted per pool, so every query's metric record is exactly
+// what a solo run would report (verified by TestConcurrentMatchesSerial).
+//
+// This extends the paper's single-threaded engine without changing it:
+// each individual query still executes the study's sequential two-phase
+// algorithm.
+
+// Request is one query of a concurrent batch.
+type Request struct {
+	Alg   Algorithm
+	Query Query
+	Cfg   Config
+}
+
+// Response carries one request's outcome.
+type Response struct {
+	Result *Result
+	Err    error
+}
+
+// RunConcurrent executes the requests in parallel over one database and
+// returns the responses in request order. Temporary files created by the
+// batch are released after every request finishes.
+func RunConcurrent(db *Database, reqs []Request) []Response {
+	baseFiles := db.disk.NumFiles()
+	out := make([]Response, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = runOne(db, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	// Release the batch's temporary storage. Individual truncation must
+	// wait for the whole batch: file IDs from different queries
+	// interleave.
+	for id := baseFiles; id < db.disk.NumFiles(); id++ {
+		db.disk.Truncate(fileID(id))
+	}
+	return out
+}
+
+func runOne(db *Database, r Request) Response {
+	cfg := r.Cfg.withDefaults()
+	if cfg.BufferPages < 4 {
+		return Response{Err: fmt.Errorf("core: buffer pool must have at least 4 pages, got %d", cfg.BufferPages)}
+	}
+	pagePol, err := newPagePolicy(cfg)
+	if err != nil {
+		return Response{Err: err}
+	}
+	listPol, err := slist.NewListPolicy(cfg.ListPolicy)
+	if err != nil {
+		return Response{Err: err}
+	}
+	for _, s := range r.Query.Sources {
+		if s < 1 || s > int32(db.n) {
+			return Response{Err: fmt.Errorf("core: source node %d outside 1..%d", s, db.n)}
+		}
+	}
+	res, err := execute(db, newPool(db, cfg, pagePol), listPol, r.Alg, r.Query, cfg)
+	return Response{Result: res, Err: err}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"tcstudy/internal/graphgen"
+)
+
+func TestConcurrentMatchesSerial(t *testing.T) {
+	g, db := randomDAG(t, 1001, 250, 4, 40)
+	baseFiles := db.disk.NumFiles() // persistent files: relations + indexes
+	var reqs []Request
+	type expectation struct {
+		io      int64
+		tuples  int64
+		sources []int32
+	}
+	var want []expectation
+	algs := []Algorithm{BTC, BJ, SRCH, SPN, JKB2, SEMI, WARREN, HYB}
+	for i, alg := range algs {
+		sources := graphgen.SourceSet(250, 3+i, int64(i))
+		cfg := Config{BufferPages: 6 + i, ILIMIT: 0.25}
+		// Serial reference first.
+		res, err := Run(db, alg, Query{Sources: sources}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, expectation{
+			io:      res.Metrics.TotalIO(),
+			tuples:  res.Metrics.DistinctTuples,
+			sources: sources,
+		})
+		reqs = append(reqs, Request{Alg: alg, Query: Query{Sources: sources}, Cfg: cfg})
+	}
+
+	resps := RunConcurrent(db, reqs)
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	wantSets := refSuccessors(t, g, nil) // superset reference per node
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("request %d (%s): %v", i, reqs[i].Alg, r.Err)
+		}
+		m := r.Result.Metrics
+		if m.TotalIO() != want[i].io {
+			t.Errorf("request %d (%s): concurrent I/O %d != serial %d",
+				i, reqs[i].Alg, m.TotalIO(), want[i].io)
+		}
+		if m.DistinctTuples != want[i].tuples {
+			t.Errorf("request %d (%s): tuples %d != serial %d",
+				i, reqs[i].Alg, m.DistinctTuples, want[i].tuples)
+		}
+		for _, s := range want[i].sources {
+			if len(r.Result.Successors[s]) != len(wantSets[s]) {
+				t.Errorf("request %d (%s): wrong successor count for %d",
+					i, reqs[i].Alg, s)
+			}
+		}
+	}
+
+	// The batch's temporary files are gone.
+	for id := baseFiles; id < db.disk.NumFiles(); id++ {
+		if n := db.disk.NumPages(fileID(id)); n != 0 {
+			t.Fatalf("temp file %d still holds %d pages", id, n)
+		}
+	}
+}
+
+func TestConcurrentErrorsIsolated(t *testing.T) {
+	_, db := randomDAG(t, 1002, 100, 3, 20)
+	resps := RunConcurrent(db, []Request{
+		{Alg: BTC, Query: Query{}, Cfg: Config{BufferPages: 8}},
+		{Alg: Algorithm("nope"), Query: Query{}, Cfg: Config{BufferPages: 8}},
+		{Alg: BTC, Query: Query{Sources: []int32{999}}, Cfg: Config{BufferPages: 8}},
+		{Alg: SRCH, Query: Query{Sources: []int32{5}}, Cfg: Config{BufferPages: 2}},
+	})
+	if resps[0].Err != nil {
+		t.Fatalf("valid request failed: %v", resps[0].Err)
+	}
+	for i := 1; i < 4; i++ {
+		if resps[i].Err == nil {
+			t.Fatalf("invalid request %d succeeded", i)
+		}
+	}
+}
+
+func TestConcurrentEmptyBatch(t *testing.T) {
+	_, db := randomDAG(t, 1003, 20, 2, 5)
+	if resps := RunConcurrent(db, nil); len(resps) != 0 {
+		t.Fatalf("empty batch returned %d responses", len(resps))
+	}
+}
+
+func TestConcurrentManyIdenticalQueries(t *testing.T) {
+	// Hammer one database with identical queries: all must agree.
+	_, db := randomDAG(t, 1004, 200, 4, 30)
+	q := Query{Sources: []int32{3, 50, 120}}
+	cfg := Config{BufferPages: 8}
+	var reqs []Request
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, Request{Alg: BTC, Query: q, Cfg: cfg})
+	}
+	resps := RunConcurrent(db, reqs)
+	first := resps[0]
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	for i, r := range resps[1:] {
+		if r.Err != nil {
+			t.Fatalf("run %d: %v", i+1, r.Err)
+		}
+		if r.Result.Metrics.TotalIO() != first.Result.Metrics.TotalIO() {
+			t.Fatalf("run %d I/O %d differs from run 0's %d",
+				i+1, r.Result.Metrics.TotalIO(), first.Result.Metrics.TotalIO())
+		}
+		for s, succ := range first.Result.Successors {
+			if len(r.Result.Successors[s]) != len(succ) {
+				t.Fatalf("run %d disagrees on node %d", i+1, s)
+			}
+		}
+	}
+}

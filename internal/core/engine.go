@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+	"tcstudy/internal/pagedisk"
+	"tcstudy/internal/relation"
+	"tcstudy/internal/slist"
+)
+
+// Algorithm names one of the studied transitive closure algorithms.
+type Algorithm string
+
+// The candidate algorithms of the study (Section 3).
+const (
+	BTC  Algorithm = "btc"  // basic graph-based algorithm [12]
+	HYB  Algorithm = "hyb"  // Hybrid with successor-list blocking [2]
+	BJ   Algorithm = "bj"   // Jiang's BFS with the single-parent optimization [18]
+	SRCH Algorithm = "srch" // per-source search [14, 15]
+	SPN  Algorithm = "spn"  // Dar/Jagadish spanning tree algorithm [6]
+	JKB  Algorithm = "jkb"  // Jakobsson's Compute_Tree, single relation [15]
+	JKB2 Algorithm = "jkb2" // Compute_Tree over the dual representation [15]
+
+	// The baseline families the paper's related-work section reports the
+	// graph-based algorithms beating (Section 8): the iterative Seminaive
+	// evaluation and the matrix-based Blocked Warren algorithm.
+	SEMI   Algorithm = "seminaive"
+	WARREN Algorithm = "warren"
+
+	// SCHMITZ is Schmitz's SCC-based algorithm ([23], studied against BTC
+	// in [12]): one Tarjan pass closes components as they pop, handling
+	// cyclic graphs natively.
+	SCHMITZ Algorithm = "schmitz"
+)
+
+// Algorithms lists every implemented algorithm, the paper's seven
+// candidates followed by the two related-work baselines.
+func Algorithms() []Algorithm {
+	return []Algorithm{BTC, HYB, BJ, SRCH, SPN, JKB, JKB2, SEMI, WARREN, SCHMITZ}
+}
+
+// Config carries the system parameters of an experiment (Section 5.1).
+type Config struct {
+	// BufferPages is M, the buffer pool size in pages (10, 20 or 50 in the
+	// study). Must be at least 4.
+	BufferPages int
+	// PagePolicy is the page replacement policy name (default "lru").
+	PagePolicy string
+	// ListPolicy is the list replacement policy name (default "smallest").
+	ListPolicy string
+	// ILIMIT is the fraction of the buffer pool reserved for the Hybrid
+	// algorithm's diagonal block (Figure 6). Zero makes HYB identical to
+	// BTC, the configuration the paper found best.
+	ILIMIT float64
+	// DisableMarking turns off the marking optimization (ablation).
+	DisableMarking bool
+	// ChargeIndexIO routes relation probes through the disk-resident
+	// B+-tree, charging index interior pages — the cost the paper's model
+	// treats as free (ablation).
+	ChargeIndexIO bool
+	// DisableClustering turns off inter-list clustering (ablation).
+	DisableClustering bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferPages == 0 {
+		c.BufferPages = 10
+	}
+	if c.PagePolicy == "" {
+		c.PagePolicy = "lru"
+	}
+	if c.ListPolicy == "" {
+		c.ListPolicy = "smallest"
+	}
+	return c
+}
+
+// Database is the stored input: the graph relation clustered and indexed on
+// the source attribute, and the dual (inverse) relation clustered and
+// indexed on the destination attribute used by JKB2 (Section 4.1). Both
+// live on one simulated disk; building them is not charged to queries.
+type Database struct {
+	disk *pagedisk.Disk
+	rel  *relation.Relation
+	inv  *relation.Relation
+	// wcol is the arc-weight column of a weighted database (nil for the
+	// paper's unweighted reachability databases); used by the weighted
+	// generalized-closure aggregates.
+	wcol *relation.WeightColumn
+	// btree/invBtree are disk-resident clustered indexes used when a run
+	// asks for index interior I/O to be charged (Config.ChargeIndexIO);
+	// the default probes use the paper's free in-memory sparse index.
+	btree    *relation.BTree
+	invBtree *relation.BTree
+	n        int
+}
+
+// NewDatabase stores the arcs of a graph over nodes 1..n.
+func NewDatabase(n int, arcs []graph.Arc) *Database {
+	disk := pagedisk.New()
+	ts := graphgen.Tuples(arcs)
+	db := &Database{
+		disk: disk,
+		rel:  relation.Build(disk, "graph", ts),
+		inv:  relation.BuildInverse(disk, "graph-inverse", ts),
+		n:    n,
+	}
+	db.buildIndexes()
+	return db
+}
+
+// buildIndexes bulk-loads the disk-resident B+-trees (database
+// construction, not charged to queries).
+func (db *Database) buildIndexes() {
+	var err error
+	if db.btree, err = relation.BuildBTree(db.disk, "graph-btree", db.rel); err != nil {
+		panic(fmt.Sprintf("core: btree build failed: %v", err))
+	}
+	if db.invBtree, err = relation.BuildBTree(db.disk, "graph-inverse-btree", db.inv); err != nil {
+		panic(fmt.Sprintf("core: inverse btree build failed: %v", err))
+	}
+}
+
+// NewDatabaseWeighted stores a weighted graph: weight is consulted once
+// per arc at build time and the weights land in a column file aligned with
+// the relation. All reachability algorithms work unchanged; the weighted
+// path aggregates (MinWeight, MaxWeight) become available.
+func NewDatabaseWeighted(n int, arcs []graph.Arc, weight func(graph.Arc) int32) (*Database, error) {
+	disk := pagedisk.New()
+	ts := graphgen.Tuples(arcs)
+	ws := make([]int32, len(arcs))
+	for i, a := range arcs {
+		ws[i] = weight(a)
+	}
+	rel, wcol, err := relation.BuildWeighted(disk, "graph", ts, ws)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		disk: disk,
+		rel:  rel,
+		inv:  relation.BuildInverse(disk, "graph-inverse", ts),
+		wcol: wcol,
+		n:    n,
+	}
+	db.buildIndexes()
+	return db, nil
+}
+
+// Weighted reports whether the database carries arc weights.
+func (db *Database) Weighted() bool { return db.wcol != nil }
+
+// N reports the number of nodes in the stored graph.
+func (db *Database) N() int { return db.n }
+
+// NumArcs reports the number of stored (distinct) arcs.
+func (db *Database) NumArcs() int { return db.rel.NumTuples() }
+
+// Relation exposes the forward relation (for tools and tests).
+func (db *Database) Relation() *relation.Relation { return db.rel }
+
+// Arcs reads the stored arc list back out of the relation (e.g. after
+// OpenDatabase). The scan is a catalog operation and is not charged to any
+// query: disk statistics are reset afterwards.
+func (db *Database) Arcs() ([]graph.Arc, error) {
+	pol, err := buffer.NewPolicy("lru", 8)
+	if err != nil {
+		return nil, err
+	}
+	pool := buffer.New(db.disk, 8, pol)
+	arcs := make([]graph.Arc, 0, db.rel.NumTuples())
+	if err := db.rel.Scan(pool, func(t relation.Tuple) bool {
+		arcs = append(arcs, graph.Arc{From: t.Key, To: t.Val})
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	db.disk.ResetStats()
+	return arcs, nil
+}
+
+// Query specifies a transitive closure computation. An empty source set
+// requests the complete transitive closure (CTC); otherwise the partial
+// transitive closure (PTC) of the given source nodes is computed.
+type Query struct {
+	Sources []int32
+}
+
+// IsFull reports whether the query asks for the complete closure.
+func (q Query) IsFull() bool { return len(q.Sources) == 0 }
+
+// Result is the outcome of a run: the metrics record and the computed
+// successor sets (for CTC, of every node; for PTC, of the source nodes).
+// Successor extraction happens after measurement ends and is not charged.
+type Result struct {
+	Metrics    Metrics
+	Successors map[int32][]int32
+}
+
+// newPagePolicy and newPool are the shared construction helpers of the
+// Run, Session and RunPaths entry points.
+func newPagePolicy(cfg Config) (buffer.Policy, error) {
+	return buffer.NewPolicy(cfg.PagePolicy, cfg.BufferPages)
+}
+
+func newPool(db *Database, cfg Config, pol buffer.Policy) *buffer.Pool {
+	return buffer.New(db.disk, cfg.BufferPages, pol)
+}
+
+func fileID(id int) pagedisk.FileID { return pagedisk.FileID(id) }
+
+// Run executes one query with one algorithm under the given configuration.
+func Run(db *Database, alg Algorithm, q Query, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BufferPages < 4 {
+		return nil, fmt.Errorf("core: buffer pool must have at least 4 pages, got %d", cfg.BufferPages)
+	}
+	pagePol, err := buffer.NewPolicy(cfg.PagePolicy, cfg.BufferPages)
+	if err != nil {
+		return nil, err
+	}
+	listPol, err := slist.NewListPolicy(cfg.ListPolicy)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range q.Sources {
+		if s < 1 || s > int32(db.n) {
+			return nil, fmt.Errorf("core: source node %d outside 1..%d", s, db.n)
+		}
+	}
+
+	// Each run measures from a cold buffer pool and a clean counter state,
+	// exactly as in the paper's per-query experiments. Temporary files the
+	// run creates (successor lists, trees, sort runs) are released when it
+	// finishes — the answer has been materialized by then.
+	db.disk.ResetStats()
+	baseFiles := db.disk.NumFiles()
+	defer func() {
+		for id := baseFiles; id < db.disk.NumFiles(); id++ {
+			db.disk.Truncate(pagedisk.FileID(id))
+		}
+	}()
+	pool := buffer.New(db.disk, cfg.BufferPages, pagePol)
+	return execute(db, pool, listPol, alg, q, cfg)
+}
+
+// engine is the per-run state shared by the algorithm implementations.
+type engine struct {
+	db         *Database
+	cfg        Config
+	pool       *buffer.Pool
+	q          Query
+	met        Metrics
+	listPolicy slist.ListPolicy
+
+	// Restructuring-phase outputs (see restructure.go).
+	store      *slist.Store // successor lists / trees, expanded in place
+	order      []int32      // magic-graph nodes in topological order
+	topoPos    []int32      // node -> position in order; -1 if outside
+	levels     []int32      // node levels within the magic graph
+	childCount []int32      // immediate-successor count per node
+	isSource   []bool
+	posCount   []int32 // SPN: result entries (positive values) per tree
+
+	// Weighted generalized closure support: when needWeights is set the
+	// restructuring probes also read the weight column into adjW.
+	needWeights bool
+	adjW        [][]int32
+
+	// answer collects the final successor sets for validation; it is
+	// filled after metrics are frozen (flat algorithms) or as a free
+	// by-product (JKB), never with charged I/O beyond what the paper's
+	// algorithms perform.
+	answer map[int32][]int32
+}
+
+// sources returns the effective source set: the query's sources for PTC, or
+// every node for CTC (the paper treats CTC as s = n, cf. Figure 14 where
+// the curves converge at s = 2000).
+func (e *engine) sources() []int32 {
+	if !e.q.IsFull() {
+		return e.q.Sources
+	}
+	all := make([]int32, e.db.n)
+	for i := range all {
+		all[i] = int32(i + 1)
+	}
+	return all
+}
+
+// timedPhase runs fn, attributing elapsed time and I/O to the given phase.
+func (e *engine) timedPhase(restructure bool, fn func() error) error {
+	snap := snapshot(e.pool)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	io, buf := snap.delta(e.pool)
+	if restructure {
+		e.met.Restructure.Reads += io.Reads
+		e.met.Restructure.Writes += io.Writes
+		e.met.RestructureTime += elapsed
+	} else {
+		e.met.Compute.Reads += io.Reads
+		e.met.Compute.Writes += io.Writes
+		e.met.ComputeTime += elapsed
+		e.met.ComputeBuffer.Hits += buf.Hits
+		e.met.ComputeBuffer.Misses += buf.Misses
+		e.met.ComputeBuffer.Evicts += buf.Evicts
+	}
+	return err
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/pagedisk"
+)
+
+// runHYB executes the Hybrid algorithm (Sections 3.2 and 4.1): successor
+// lists are expanded a block at a time. The next ILIMIT·M pages worth of
+// lists (in reverse topological order) form the diagonal block, whose pages
+// are fixed in the buffer pool. Each off-diagonal child list brought into
+// memory is unioned with every diagonal list that has it as an unmarked
+// child — the payoff of blocking — and only then are the diagonal-diagonal
+// unions performed, in reverse topological order. Processing the
+// off-diagonal part first costs marking opportunities, one of the three
+// reasons the paper gives for blocking's poor showing (Section 6.2).
+// When the pool runs short of frames the block is dynamically shrunk by
+// releasing the most recently pinned lists ("dynamic reblocking").
+//
+// With ILIMIT = 0 no blocking is used and the algorithm is identical to
+// BTC, the configuration the paper found best (Figure 6).
+func (e *engine) runHYB() error {
+	if err := e.timedPhase(true, func() error {
+		adj, err := e.discover()
+		if err != nil {
+			return err
+		}
+		return e.buildLists(adj)
+	}); err != nil {
+		return err
+	}
+	if err := e.timedPhase(false, func() error {
+		if e.cfg.ILIMIT <= 0 {
+			exp := newExpander(e.db.n)
+			for i := len(e.order) - 1; i >= 0; i-- {
+				if err := e.expandNode(e.order[i], exp); err != nil {
+					return err
+				}
+			}
+			return e.finalizeFlat()
+		}
+		if err := e.expandBlocked(); err != nil {
+			return err
+		}
+		return e.finalizeFlat()
+	}); err != nil {
+		return err
+	}
+	return e.collectFlatAnswer()
+}
+
+// diagonalPin tracks the pinned pages of one diagonal list.
+type diagonalPin struct {
+	node    int32
+	handles []buffer.Handle
+}
+
+const hybWorkFrames = 4 // frames kept free for iterators, appends and splits
+
+func (e *engine) expandBlocked() error {
+	m := e.pool.Size()
+	budget := int(e.cfg.ILIMIT * float64(m))
+	if budget < 1 {
+		budget = 1
+	}
+	if budget > m-hybWorkFrames {
+		budget = m - hybWorkFrames
+	}
+	if budget < 1 {
+		budget = 1
+	}
+
+	rev := make([]int32, len(e.order))
+	for i, v := range e.order {
+		rev[len(e.order)-1-i] = v
+	}
+
+	inBatch := make([]bool, e.db.n+1)
+	ptr := 0
+	for ptr < len(rev) {
+		// --- Form the diagonal block -----------------------------------
+		var pins []diagonalPin
+		distinct := map[pagedisk.PageID]bool{}
+		var batch []int32
+		for ptr < len(rev) && len(distinct) < budget {
+			v := rev[ptr]
+			handles, err := e.store.PinList(v)
+			if errors.Is(err, buffer.ErrNoFrames) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			pins = append(pins, diagonalPin{node: v, handles: handles})
+			for i := range handles {
+				_, pg := handles[i].Page()
+				distinct[pg] = true
+			}
+			batch = append(batch, v)
+			inBatch[v] = true
+			ptr++
+		}
+		if len(batch) == 0 {
+			// Not even one list could be pinned: expand the next node the
+			// plain BTC way and move on.
+			exp := newExpander(e.db.n)
+			if err := e.expandNode(rev[ptr], exp); err != nil {
+				return err
+			}
+			ptr++
+			continue
+		}
+
+		// reblock releases the most recently pinned diagonal list when the
+		// pool runs short of work frames (dynamic reblocking). The list
+		// stays in the batch; it simply loses its residency guarantee.
+		reblock := func() {
+			for e.pool.PinnedFrames() > m-hybWorkFrames && len(pins) > 0 {
+				last := pins[len(pins)-1]
+				pins = pins[:len(pins)-1]
+				e.store.UnpinAll(last.handles)
+			}
+		}
+		reblock()
+
+		// --- Load each diagonal list's children ------------------------
+		exps := make(map[int32]*expander, len(batch))
+		children := make(map[int32][]int32, len(batch))
+		for _, v := range batch {
+			exp := newExpander(e.db.n)
+			ch, err := e.loadChildren(v, exp)
+			if err != nil {
+				return err
+			}
+			exps[v] = exp
+			children[v] = ch
+		}
+
+		// --- Phase A: off-diagonal unions, grouped by child ------------
+		// One fetch of an off-diagonal list serves every diagonal list
+		// that needs it (Figure 2).
+		requests := map[int32][]int32{}
+		var offDiag []int32
+		for _, v := range batch {
+			for _, j := range children[v] {
+				if inBatch[j] {
+					continue
+				}
+				if len(requests[j]) == 0 {
+					offDiag = append(offDiag, j)
+				}
+				requests[j] = append(requests[j], v)
+			}
+		}
+		sort.Slice(offDiag, func(a, b int) bool {
+			return e.topoPos[offDiag[a]] < e.topoPos[offDiag[b]]
+		})
+		for _, j := range offDiag {
+			for _, v := range requests[j] {
+				e.met.ArcsConsidered++
+				exp := exps[v]
+				if !e.cfg.DisableMarking && exp.marked.Has(j) {
+					e.met.ArcsMarked++
+					continue
+				}
+				reblock()
+				if err := e.unionInto(v, j, exp); err != nil {
+					return err
+				}
+			}
+		}
+
+		// --- Phase B: diagonal-diagonal unions, reverse topological ----
+		for _, v := range batch {
+			exp := exps[v]
+			for _, j := range children[v] {
+				if !inBatch[j] {
+					continue
+				}
+				e.met.ArcsConsidered++
+				if !e.cfg.DisableMarking && exp.marked.Has(j) {
+					e.met.ArcsMarked++
+					continue
+				}
+				reblock()
+				if err := e.unionInto(v, j, exp); err != nil {
+					return err
+				}
+			}
+		}
+
+		// --- Release the block ------------------------------------------
+		for _, p := range pins {
+			e.store.UnpinAll(p.handles)
+		}
+		for _, v := range batch {
+			inBatch[v] = false
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"tcstudy/internal/graphgen"
+)
+
+// TestJKBVariantsDifferOnlyInPreprocessing: JKB and JKB2 share the
+// computation phase; only the predecessor-list construction differs, so
+// their logical counters must be identical and only restructuring I/O may
+// diverge.
+func TestJKBVariantsDifferOnlyInPreprocessing(t *testing.T) {
+	_, db := randomDAG(t, 901, 250, 5, 40)
+	sources := graphgen.SourceSet(250, 6, 4)
+	a, err := Run(db, JKB, Query{Sources: sources}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(db, JKB2, Query{Sources: sources}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.ListUnions != b.Metrics.ListUnions ||
+		a.Metrics.ArcsMarked != b.Metrics.ArcsMarked ||
+		a.Metrics.DistinctTuples != b.Metrics.DistinctTuples ||
+		a.Metrics.SourceTuples != b.Metrics.SourceTuples {
+		t.Fatalf("JKB and JKB2 logical work diverged:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestJKBPreprocessingExplodesAtHighOutDegree: the paper's Section 6.2
+// observation — without the dual representation, building predecessor
+// lists from the source-clustered relation scatters appends across lists
+// and becomes very expensive as the out-degree grows.
+func TestJKBPreprocessingExplodesAtHighOutDegree(t *testing.T) {
+	_, db := randomDAG(t, 907, 800, 20, 80)
+	sources := graphgen.SourceSet(800, 6, 4)
+	a, err := Run(db, JKB, Query{Sources: sources}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(db, JKB2, Query{Sources: sources}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.Restructure.Total() < 4*b.Metrics.Restructure.Total() {
+		t.Fatalf("JKB preprocessing I/O %d not clearly above JKB2's %d at F=20",
+			a.Metrics.Restructure.Total(), b.Metrics.Restructure.Total())
+	}
+}
+
+// TestBJReducesWorkOnSelectiveQueries: the single-parent optimization can
+// only remove unions relative to BTC.
+func TestBJNeverExceedsBTCUnions(t *testing.T) {
+	_, db := randomDAG(t, 902, 300, 3, 20)
+	for _, s := range []int{2, 5, 15} {
+		sources := graphgen.SourceSet(300, s, int64(s))
+		rb, err := Run(db, BTC, Query{Sources: sources}, Config{BufferPages: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rj, err := Run(db, BJ, Query{Sources: sources}, Config{BufferPages: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rj.Metrics.ListUnions > rb.Metrics.ListUnions {
+			t.Fatalf("s=%d: BJ unions %d exceed BTC's %d",
+				s, rj.Metrics.ListUnions, rb.Metrics.ListUnions)
+		}
+		if rj.Metrics.DistinctTuples > rb.Metrics.DistinctTuples {
+			t.Fatalf("s=%d: BJ materialized more tuples than BTC", s)
+		}
+	}
+}
+
+// TestSRCHIOGrowsWithSelectivity: the defining SRCH trade-off.
+func TestSRCHIOGrowsWithSelectivity(t *testing.T) {
+	_, db := randomDAG(t, 903, 400, 4, 60)
+	var prev int64 = -1
+	for _, s := range []int{1, 8, 64} {
+		sources := graphgen.SourceSet(400, s, 7)
+		res, err := Run(db, SRCH, Query{Sources: sources}, Config{BufferPages: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.TotalIO() <= prev {
+			t.Fatalf("SRCH I/O did not grow: %d after %d", res.Metrics.TotalIO(), prev)
+		}
+		prev = res.Metrics.TotalIO()
+		// Unions equal the number of nodes searched, summed per source.
+		if res.Metrics.ArcsMarked != 0 {
+			t.Fatal("SRCH marked arcs")
+		}
+	}
+}
+
+// TestSPNStoresMoreEntriesThanBTC: successor trees pay for structure with
+// parent markers, the mechanism behind Figure 7(a).
+func TestSPNStoresMoreEntriesThanBTC(t *testing.T) {
+	_, db := randomDAG(t, 904, 250, 5, 50)
+	rb, err := Run(db, BTC, Query{}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(db, SPN, Query{}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same result tuples...
+	if rs.Metrics.DistinctTuples != rb.Metrics.DistinctTuples {
+		t.Fatalf("SPN distinct tuples %d != BTC's %d",
+			rs.Metrics.DistinctTuples, rb.Metrics.DistinctTuples)
+	}
+	// ...but fewer duplicates generated and fewer successors fetched.
+	if rs.Metrics.Duplicates >= rb.Metrics.Duplicates {
+		t.Fatalf("SPN duplicates %d not below BTC's %d",
+			rs.Metrics.Duplicates, rb.Metrics.Duplicates)
+	}
+	if rs.Metrics.SuccessorsFetched >= rb.Metrics.SuccessorsFetched {
+		t.Fatalf("SPN fetched %d successors, BTC %d",
+			rs.Metrics.SuccessorsFetched, rb.Metrics.SuccessorsFetched)
+	}
+}
+
+// TestComputePhaseDominatesCTC: Table 3's structural observation holds on
+// random inputs — for full closures the computation phase dwarfs
+// restructuring.
+func TestComputePhaseDominatesCTC(t *testing.T) {
+	_, db := randomDAG(t, 905, 400, 5, 80)
+	res, err := Run(db, BTC, Query{}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Compute.Total() <= res.Metrics.Restructure.Total() {
+		t.Fatalf("compute I/O %d not above restructure I/O %d",
+			res.Metrics.Compute.Total(), res.Metrics.Restructure.Total())
+	}
+}
+
+// TestPagePolicySecondaryEffect: the paper's Section 5.1 claim, asserted
+// loosely — sane policies (excluding MRU, which is anti-optimal for this
+// access pattern) stay within 2x of each other.
+func TestPagePolicySecondaryEffect(t *testing.T) {
+	_, db := randomDAG(t, 906, 300, 4, 50)
+	var lo, hi int64
+	for _, pp := range []string{"lru", "fifo", "clock", "random"} {
+		res, err := Run(db, BTC, Query{}, Config{BufferPages: 8, PagePolicy: pp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		io := res.Metrics.TotalIO()
+		if lo == 0 || io < lo {
+			lo = io
+		}
+		if io > hi {
+			hi = io
+		}
+	}
+	if hi > 2*lo {
+		t.Fatalf("policy spread too wide: %d .. %d", lo, hi)
+	}
+}

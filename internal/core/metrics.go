@@ -1,0 +1,135 @@
+// Package core implements the paper's uniform two-phase framework for
+// transitive closure computation (Section 4) and the seven algorithm
+// implementations it studies: BTC, HYB, BJ, SRCH, SPN, JKB and JKB2
+// (Section 4.1). All algorithms share the restructuring phase — the input
+// relation is walked node by node, the (magic) subgraph is topologically
+// sorted, and successor lists are laid out on disk in processing order —
+// and differ only in the computation phase that expands the lists.
+//
+// Every cost metric the paper reports is collected: page I/O split by
+// phase (the primary metric), buffer hit ratio, tuples generated with and
+// without duplicates, successor/tuple I/O, list unions, marking counts and
+// unmarked-arc locality, and selection efficiency (Sections 6 and 7).
+package core
+
+import (
+	"time"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/slist"
+)
+
+// PhaseIO is the page traffic attributed to one execution phase.
+type PhaseIO struct {
+	Reads  int64
+	Writes int64
+}
+
+// Total returns reads plus writes.
+func (p PhaseIO) Total() int64 { return p.Reads + p.Writes }
+
+// Metrics is the full measurement record of one query execution.
+type Metrics struct {
+	Algorithm Algorithm
+
+	// Page I/O, the paper's primary cost metric (Section 6.1), split into
+	// the restructuring (preprocessing) and computation (expansion) phases.
+	Restructure PhaseIO
+	Compute     PhaseIO
+
+	// Buffer pool behaviour during the computation phase only, matching
+	// Figure 13's definition of hit ratio ("the percentage of successor
+	// list page requests during the computation phase that were satisfied
+	// from the buffer pool"). For SRCH, which has no computation phase,
+	// the whole run is reported.
+	ComputeBuffer buffer.Stats
+
+	// Logical work counters (Sections 6.3.2–6.3.3 and 7).
+	TuplesGenerated   int64 // successor insertions attempted, incl. duplicates
+	Duplicates        int64 // insertions rejected by duplicate elimination
+	DistinctTuples    int64 // entries materialized in lists/trees (tc)
+	SourceTuples      int64 // entries belonging to source-node answers (stc)
+	SuccessorsFetched int64 // successor entries read from lists ("tuple I/O")
+	ListUnions        int64 // successor list/tree unions performed
+	ArcsConsidered    int64 // arcs examined during expansion
+	ArcsMarked        int64 // arcs skipped by the marking optimization
+
+	// Locality of the arcs whose unions were actually performed
+	// (Figure 12: average locality of unmarked arcs).
+	unmarkedLocSum   int64
+	unmarkedLocCount int64
+
+	// Magic-graph characterization, computed during the restructuring DFS
+	// at no extra I/O (Theorem 2: the rectangle model falls out of the
+	// same traversal). Zero for the algorithms that skip restructuring
+	// (SRCH, Seminaive, Warren).
+	MagicNodes int64
+	MagicArcs  int64
+	MagicH     float64 // rectangle-model height of the magic graph
+	MagicW     float64 // rectangle-model width of the magic graph
+
+	// Storage engine events (page splits and list moves, Section 5.1).
+	Store slist.Stats
+
+	// Wall-clock CPU time per phase (Table 3's user-time analogue).
+	RestructureTime time.Duration
+	ComputeTime     time.Duration
+}
+
+// TotalIO returns the total page I/O of the run.
+func (m *Metrics) TotalIO() int64 { return m.Restructure.Total() + m.Compute.Total() }
+
+// MarkingPct returns the percentage of considered arcs that the marking
+// optimization eliminated (Figure 11).
+func (m *Metrics) MarkingPct() float64 {
+	if m.ArcsConsidered == 0 {
+		return 0
+	}
+	return 100 * float64(m.ArcsMarked) / float64(m.ArcsConsidered)
+}
+
+// SelectionEfficiency returns stc/tc: the fraction of materialized tuples
+// that belong to the expanded successor lists of the query's source nodes
+// (Section 6.3.2). SRCH achieves the optimum of 1.
+func (m *Metrics) SelectionEfficiency() float64 {
+	if m.DistinctTuples == 0 {
+		return 0
+	}
+	return float64(m.SourceTuples) / float64(m.DistinctTuples)
+}
+
+// AvgUnmarkedLocality returns the mean arc locality (level difference)
+// over the arcs whose unions were performed (Figure 12).
+func (m *Metrics) AvgUnmarkedLocality() float64 {
+	if m.unmarkedLocCount == 0 {
+		return 0
+	}
+	return float64(m.unmarkedLocSum) / float64(m.unmarkedLocCount)
+}
+
+// EstimatedIOTime converts page I/O to time at the paper's calibrated 20 ms
+// per I/O (Table 3).
+func (m *Metrics) EstimatedIOTime() time.Duration {
+	return time.Duration(m.TotalIO()) * 20 * time.Millisecond
+}
+
+func (m *Metrics) noteUnmarked(locality int32) {
+	m.unmarkedLocSum += int64(locality)
+	m.unmarkedLocCount++
+}
+
+// phaseSplit snapshots the pool's counters so a phase's traffic can be
+// attributed by difference. I/O is counted at the pool, not the shared
+// disk, so concurrent queries cannot pollute each other's accounting.
+type phaseSplit struct {
+	buf buffer.Stats
+}
+
+func snapshot(pool *buffer.Pool) phaseSplit {
+	return phaseSplit{buf: pool.Stats()}
+}
+
+func (s phaseSplit) delta(pool *buffer.Pool) (PhaseIO, buffer.Stats) {
+	b := pool.Stats().Sub(s.buf)
+	return PhaseIO{Reads: b.Reads, Writes: b.Writes}, b
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+)
+
+// refPathAgg computes the reference aggregate by dynamic programming over
+// a topological order.
+func refPathAgg(t *testing.T, g *graph.Graph, agg PathAggregate) []map[int32]int64 {
+	t.Helper()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]map[int32]int64, g.N()+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		acc := map[int32]int64{}
+		for _, c := range g.Children(v) {
+			combineArc(agg, acc, c, 1)
+			for u, val := range out[c] {
+				combinePath(agg, acc, u, val, 1)
+			}
+		}
+		out[v] = acc
+	}
+	return out
+}
+
+func checkPathValues(t *testing.T, agg PathAggregate, got map[int32]map[int32]int64, want []map[int32]int64, nodes []int32) {
+	t.Helper()
+	for _, s := range nodes {
+		w := want[s]
+		gv := got[s]
+		if len(gv) != len(w) {
+			t.Fatalf("%s: node %d has %d entries, want %d", agg, s, len(gv), len(w))
+		}
+		for u, val := range w {
+			if gv[u] != val {
+				t.Fatalf("%s: value(%d, %d) = %d, want %d", agg, s, u, gv[u], val)
+			}
+		}
+	}
+}
+
+func TestPathAggregatesAgainstReference(t *testing.T) {
+	for _, agg := range []PathAggregate{MinHops, MaxHops, PathCount} {
+		t.Run(string(agg), func(t *testing.T) {
+			g, db := randomDAG(t, 801, 150, 4, 30)
+			want := refPathAgg(t, g, agg)
+			// Full closure.
+			res, err := RunPaths(db, agg, Query{}, Config{BufferPages: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var all []int32
+			for v := int32(1); v <= int32(g.N()); v++ {
+				all = append(all, v)
+			}
+			checkPathValues(t, agg, res.Values, want, all)
+			// Selection.
+			sources := graphgen.SourceSet(150, 5, 2)
+			sel, err := RunPaths(db, agg, Query{Sources: sources}, Config{BufferPages: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkPathValues(t, agg, sel.Values, want, sources)
+			if sel.Metrics.TotalIO() <= 0 {
+				t.Fatal("no I/O recorded")
+			}
+		})
+	}
+}
+
+func TestPathAggregatesKnownGraph(t *testing.T) {
+	// 1 -> 2 -> 4, 1 -> 3 -> 4, 4 -> 5: two paths 1~>4 (len 2), one 1~>5
+	// continuation each.
+	db := NewDatabase(5, []graph.Arc{
+		{From: 1, To: 2}, {From: 1, To: 3}, {From: 2, To: 4}, {From: 3, To: 4}, {From: 4, To: 5},
+	})
+	min, err := RunPaths(db, MinHops, Query{Sources: []int32{1}}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin := map[int32]int64{2: 1, 3: 1, 4: 2, 5: 3}
+	for u, d := range wantMin {
+		if min.Values[1][u] != d {
+			t.Fatalf("minhops(1,%d) = %d, want %d", u, min.Values[1][u], d)
+		}
+	}
+	cnt, err := RunPaths(db, PathCount, Query{Sources: []int32{1}}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Values[1][4] != 2 || cnt.Values[1][5] != 2 {
+		t.Fatalf("pathcount(1,4)=%d pathcount(1,5)=%d, want 2, 2",
+			cnt.Values[1][4], cnt.Values[1][5])
+	}
+	max, err := RunPaths(db, MaxHops, Query{Sources: []int32{1}}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max.Values[1][5] != 3 {
+		t.Fatalf("maxhops(1,5) = %d, want 3", max.Values[1][5])
+	}
+}
+
+func TestMaxHopsMatchesLevels(t *testing.T) {
+	// level(v) - 1 is the longest path from v to any sink: the maximum
+	// MaxHops value of v's row.
+	g, db := randomDAG(t, 802, 120, 4, 25)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPaths(db, MaxHops, Query{}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(1); v <= int32(g.N()); v++ {
+		var best int64
+		for _, d := range res.Values[v] {
+			if d > best {
+				best = d
+			}
+		}
+		if best != int64(levels[v])-1 {
+			t.Fatalf("node %d: max hops %d, level-1 = %d", v, best, levels[v]-1)
+		}
+	}
+}
+
+func TestMinHopsNeverExceedsMaxHops(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 5
+		var arcs []graph.Arc
+		for i := 1; i < n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if rng.Intn(4) == 0 {
+					arcs = append(arcs, graph.Arc{From: int32(i), To: int32(j)})
+				}
+			}
+		}
+		db := NewDatabase(n, arcs)
+		min, err := RunPaths(db, MinHops, Query{}, Config{BufferPages: 8})
+		if err != nil {
+			return false
+		}
+		max, err := RunPaths(db, MaxHops, Query{}, Config{BufferPages: 8})
+		if err != nil {
+			return false
+		}
+		for v, row := range min.Values {
+			for u, d := range row {
+				if max.Values[v][u] < d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathReachabilityMatchesBTC(t *testing.T) {
+	// The keys of every aggregate row are exactly the successor set.
+	g, db := randomDAG(t, 803, 100, 4, 25)
+	want := refSuccessors(t, g, nil)
+	res, err := RunPaths(db, MinHops, Query{}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, w := range want {
+		row := res.Values[v]
+		if len(row) != len(w) {
+			t.Fatalf("node %d: %d aggregate entries, %d successors", v, len(row), len(w))
+		}
+		for _, u := range w {
+			if _, ok := row[u]; !ok {
+				t.Fatalf("node %d: successor %d missing from aggregate row", v, u)
+			}
+		}
+	}
+}
+
+func TestPathCountSaturates(t *testing.T) {
+	// A ladder of diamonds doubles the path count per stage: 2^40 paths
+	// overflow int32 storage and must saturate, not wrap.
+	var arcs []graph.Arc
+	n := int32(1)
+	for stage := 0; stage < 40; stage++ {
+		a, b, c := n+1, n+2, n+3
+		arcs = append(arcs, graph.Arc{From: n, To: a}, graph.Arc{From: n, To: b},
+			graph.Arc{From: a, To: c}, graph.Arc{From: b, To: c})
+		n = c
+	}
+	db := NewDatabase(int(n), arcs)
+	res, err := RunPaths(db, PathCount, Query{Sources: []int32{1}}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Values[1][n]
+	if got <= 0 {
+		t.Fatalf("path count wrapped negative: %d", got)
+	}
+	if got < int64(1)<<31-1 {
+		t.Fatalf("path count %d below the saturation bound", got)
+	}
+}
+
+func TestRunPathsValidation(t *testing.T) {
+	_, db := randomDAG(t, 804, 50, 2, 10)
+	if _, err := RunPaths(db, PathAggregate("nope"), Query{}, Config{BufferPages: 8}); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+	if _, err := RunPaths(db, MinHops, Query{}, Config{BufferPages: 2}); err == nil {
+		t.Fatal("tiny pool accepted")
+	}
+	if _, err := RunPaths(db, MinHops, Query{Sources: []int32{99}}, Config{BufferPages: 8}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}

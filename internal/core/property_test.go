@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+)
+
+// Property tests over the whole engine, driven by testing/quick. Each
+// property builds a random database and checks a cross-algorithm or
+// cross-configuration invariant end to end.
+
+func quickDAG(rng *rand.Rand) (int, []graph.Arc) {
+	n := rng.Intn(120) + 10
+	f := rng.Intn(5) + 1
+	l := rng.Intn(n-2) + 2
+	arcs, _ := graphgen.Generate(graphgen.Params{
+		Nodes: n, OutDegree: f, Locality: l, Seed: rng.Int63(),
+	})
+	return n, arcs
+}
+
+// Property: every algorithm pair agrees on every source's successor count.
+func TestPropertyAlgorithmsAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, arcs := quickDAG(rng)
+		db := NewDatabase(n, arcs)
+		sources := graphgen.SourceSet(n, rng.Intn(4)+1, seed)
+		algs := Algorithms()
+		a, b := algs[rng.Intn(len(algs))], algs[rng.Intn(len(algs))]
+		cfg := Config{BufferPages: rng.Intn(10) + 4, ILIMIT: float64(rng.Intn(4)) * 0.1}
+		ra, err := Run(db, a, Query{Sources: sources}, cfg)
+		if err != nil {
+			return false
+		}
+		rb, err := Run(db, b, Query{Sources: sources}, cfg)
+		if err != nil {
+			return false
+		}
+		for _, s := range sources {
+			sa := map[int32]bool{}
+			for _, v := range ra.Successors[s] {
+				sa[v] = true
+			}
+			if len(sa) != len(rb.Successors[s]) {
+				return false
+			}
+			for _, v := range rb.Successors[s] {
+				if !sa[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: page I/O is deterministic — identical runs produce identical
+// metric records regardless of what ran in between.
+func TestPropertyDeterministicMetrics(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, arcs := quickDAG(rng)
+		db := NewDatabase(n, arcs)
+		alg := Algorithms()[rng.Intn(len(Algorithms()))]
+		cfg := Config{BufferPages: rng.Intn(8) + 4, ILIMIT: 0.2}
+		q := Query{Sources: graphgen.SourceSet(n, 2, seed)}
+		a, err := Run(db, alg, q, cfg)
+		if err != nil {
+			return false
+		}
+		// Interleave an unrelated run.
+		if _, err := Run(db, BTC, Query{}, Config{BufferPages: 5}); err != nil {
+			return false
+		}
+		b, err := Run(db, alg, q, cfg)
+		if err != nil {
+			return false
+		}
+		return a.Metrics.TotalIO() == b.Metrics.TotalIO() &&
+			a.Metrics.TuplesGenerated == b.Metrics.TuplesGenerated &&
+			a.Metrics.ListUnions == b.Metrics.ListUnions &&
+			a.Metrics.ArcsMarked == b.Metrics.ArcsMarked
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the answer never depends on the buffer pool size or the
+// replacement policies — only the cost does.
+func TestPropertyAnswerIndependentOfBuffering(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, arcs := quickDAG(rng)
+		db := NewDatabase(n, arcs)
+		q := Query{Sources: graphgen.SourceSet(n, 3, seed)}
+		ref, err := Run(db, BTC, q, Config{BufferPages: 64})
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			BufferPages: rng.Intn(8) + 4,
+			PagePolicy:  []string{"lru", "mru", "fifo", "clock", "random"}[rng.Intn(5)],
+			ListPolicy:  []string{"smallest", "largest", "lru", "random"}[rng.Intn(4)],
+		}
+		small, err := Run(db, BTC, q, cfg)
+		if err != nil {
+			return false
+		}
+		for s, want := range ref.Successors {
+			if len(small.Successors[s]) != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a subset of sources yields a subset of the answer, with
+// matching per-source sets (monotonicity of selections).
+func TestPropertySelectionMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, arcs := quickDAG(rng)
+		db := NewDatabase(n, arcs)
+		big := graphgen.SourceSet(n, 6, seed)
+		small := big[:3]
+		rb, err := Run(db, BTC, Query{Sources: big}, Config{BufferPages: 8})
+		if err != nil {
+			return false
+		}
+		rs, err := Run(db, BTC, Query{Sources: small}, Config{BufferPages: 8})
+		if err != nil {
+			return false
+		}
+		for _, s := range small {
+			if len(rs.Successors[s]) != len(rb.Successors[s]) {
+				return false
+			}
+		}
+		// And the small query can only touch a smaller magic graph.
+		return rs.Metrics.MagicNodes <= rb.Metrics.MagicNodes
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union of single-source answers equals the multi-source answer
+// (queries decompose).
+func TestPropertyQueryDecomposition(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, arcs := quickDAG(rng)
+		db := NewDatabase(n, arcs)
+		sources := graphgen.SourceSet(n, 3, seed)
+		multi, err := Run(db, SRCH, Query{Sources: sources}, Config{BufferPages: 8})
+		if err != nil {
+			return false
+		}
+		for _, s := range sources {
+			single, err := Run(db, SRCH, Query{Sources: []int32{s}}, Config{BufferPages: 8})
+			if err != nil {
+				return false
+			}
+			if len(single.Successors[s]) != len(multi.Successors[s]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the closure answer of the whole engine equals the reference
+// bitset closure, for a random algorithm (full closure).
+func TestPropertyFullClosureReference(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, arcs := quickDAG(rng)
+		g := graph.New(n, arcs)
+		succ, err := g.Closure()
+		if err != nil {
+			return false
+		}
+		db := NewDatabase(n, arcs)
+		alg := Algorithms()[rng.Intn(len(Algorithms()))]
+		res, err := Run(db, alg, Query{}, Config{BufferPages: 8, ILIMIT: 0.2})
+		if err != nil {
+			return false
+		}
+		for v := int32(1); v <= int32(n); v++ {
+			if len(res.Successors[v]) != succ[v].Count() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

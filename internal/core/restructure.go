@@ -1,0 +1,355 @@
+package core
+
+import (
+	"sort"
+
+	"tcstudy/internal/slist"
+)
+
+// The restructuring phase (Section 4): starting from the query's source
+// nodes (or every node for CTC), the relation is walked through its
+// clustered index, the magic subgraph is identified, the nodes are
+// topologically sorted, node levels (and with them the rectangle model,
+// Theorem 2) are computed, and the tuples are converted into successor
+// lists laid out in processing order. The I/O this performs — index probes
+// into the relation plus successor-list page writes — is the phase's cost.
+
+// probeRel reads node v's tuples through the configured access path: the
+// paper's free in-memory sparse index by default, or the disk-resident
+// B+-tree with its interior pages charged (Config.ChargeIndexIO).
+func (e *engine) probeRel(v int32, fn func(int32) bool) (int, error) {
+	if e.cfg.ChargeIndexIO {
+		return e.db.rel.ProbeIndexed(e.pool, e.db.btree, v, fn)
+	}
+	return e.db.rel.Probe(e.pool, v, fn)
+}
+
+// probeInv is probeRel over the destination-clustered dual representation.
+func (e *engine) probeInv(v int32, fn func(int32) bool) (int, error) {
+	if e.cfg.ChargeIndexIO {
+		return e.db.inv.ProbeIndexed(e.pool, e.db.invBtree, v, fn)
+	}
+	return e.db.inv.Probe(e.pool, v, fn)
+}
+
+// discover performs the DFS. It fills e.order (topological order of the
+// magic graph), e.topoPos, e.levels and e.isSource, and returns the magic
+// graph's adjacency (children per node; nil for nodes outside it).
+func (e *engine) discover() ([][]int32, error) {
+	n := e.db.n
+	adj := make([][]int32, n+1)
+	if e.needWeights {
+		e.adjW = make([][]int32, n+1)
+	}
+	visited := make([]bool, n+1)
+	e.levels = make([]int32, n+1)
+	e.topoPos = make([]int32, n+1)
+	for i := range e.topoPos {
+		e.topoPos[i] = -1
+	}
+	e.isSource = make([]bool, n+1)
+	for _, s := range e.q.Sources {
+		e.isSource[s] = true
+	}
+
+	post := make([]int32, 0, n)
+	type frame struct {
+		node int32
+		next int
+	}
+	var stack []frame
+
+	probe := func(v int32) error {
+		var children []int32
+		if e.needWeights {
+			var weights []int32
+			_, err := e.db.rel.ProbeWeighted(e.pool, v, e.db.wcol, func(c, w int32) bool {
+				children = append(children, c)
+				weights = append(weights, w)
+				return true
+			})
+			adj[v] = children
+			e.adjW[v] = weights
+			return err
+		}
+		_, err := e.probeRel(v, func(c int32) bool {
+			children = append(children, c)
+			return true
+		})
+		adj[v] = children
+		return err
+	}
+
+	visit := func(root int32) error {
+		if visited[root] {
+			return nil
+		}
+		visited[root] = true
+		if err := probe(root); err != nil {
+			return err
+		}
+		stack = append(stack, frame{node: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				c := adj[f.node][f.next]
+				f.next++
+				if !visited[c] {
+					visited[c] = true
+					if err := probe(c); err != nil {
+						return err
+					}
+					stack = append(stack, frame{node: c})
+				}
+				continue
+			}
+			// Node finished: level is one more than the deepest child.
+			var best int32
+			for _, c := range adj[f.node] {
+				if e.levels[c] > best {
+					best = e.levels[c]
+				}
+			}
+			e.levels[f.node] = best + 1
+			post = append(post, f.node)
+			stack = stack[:len(stack)-1]
+		}
+		return nil
+	}
+
+	var roots []int32
+	if e.q.IsFull() {
+		roots = make([]int32, n)
+		for i := range roots {
+			roots[i] = int32(i + 1)
+		}
+	} else {
+		roots = e.q.Sources
+	}
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// Topological order is the reverse postorder.
+	e.order = make([]int32, len(post))
+	for i, v := range post {
+		pos := int32(len(post) - 1 - i)
+		e.order[pos] = v
+		e.topoPos[v] = pos
+	}
+
+	// The rectangle model of the magic graph falls out of the traversal
+	// for free (Theorem 2): H is the mean node level, W = |G_m| / H.
+	var levelSum, arcs int64
+	for _, v := range e.order {
+		levelSum += int64(e.levels[v])
+		arcs += int64(len(adj[v]))
+	}
+	e.met.MagicNodes = int64(len(e.order))
+	e.met.MagicArcs = arcs
+	if e.met.MagicNodes > 0 {
+		e.met.MagicH = float64(levelSum) / float64(e.met.MagicNodes)
+		if e.met.MagicH > 0 {
+			e.met.MagicW = float64(arcs) / e.met.MagicH
+		}
+	}
+	return adj, nil
+}
+
+// buildLists converts the adjacency into successor lists on disk. Lists are
+// written in reverse topological order — the order the computation phase
+// expands them — which gives the inter-list clustering of Section 4, and
+// each node's children are sorted by topological position so the marking
+// optimization achieves the transitive reduction (Section 3.1).
+func (e *engine) buildLists(adj [][]int32) error { return e.buildListsMode(adj, false) }
+
+// buildListsMode builds flat successor lists, or — for the spanning tree
+// algorithm — initial successor trees: the node's children under a single
+// group whose parent marker is the (negated) node itself (Section 4.1:
+// "successor spanning trees are represented by storing each parent once,
+// followed by a list of its children; parent nodes are distinguished by
+// negating their values").
+func (e *engine) buildListsMode(adj [][]int32, tree bool) error {
+	e.store = slist.NewStore(e.pool, "successor-lists", e.db.n+1, e.listPolicy)
+	if e.cfg.DisableClustering {
+		e.store.SetClustering(false)
+	}
+	e.childCount = make([]int32, e.db.n+1)
+	buf := make([]int32, 0, 64)
+	for i := len(e.order) - 1; i >= 0; i-- {
+		v := e.order[i]
+		buf = buf[:0]
+		if tree {
+			buf = append(buf, -v)
+		}
+		buf = append(buf, adj[v]...)
+		kids := buf
+		if tree {
+			kids = buf[1:]
+		}
+		sort.Slice(kids, func(a, b int) bool { return e.topoPos[kids[a]] < e.topoPos[kids[b]] })
+		e.childCount[v] = int32(len(kids))
+		if err := e.store.AppendAll(v, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildWeightedLists lays out (child, weight) pair lists in reverse
+// topological order for the weighted path aggregates. Children are sorted
+// by topological position as in buildLists.
+func (e *engine) buildWeightedLists(adj [][]int32) error {
+	e.store = slist.NewStore(e.pool, "successor-lists", e.db.n+1, e.listPolicy)
+	if e.cfg.DisableClustering {
+		e.store.SetClustering(false)
+	}
+	e.childCount = make([]int32, e.db.n+1)
+	type cw struct{ c, w int32 }
+	var buf []cw
+	var flat []int32
+	for i := len(e.order) - 1; i >= 0; i-- {
+		v := e.order[i]
+		buf = buf[:0]
+		for k, c := range adj[v] {
+			buf = append(buf, cw{c: c, w: e.adjW[v][k]})
+		}
+		sort.Slice(buf, func(a, b int) bool { return e.topoPos[buf[a].c] < e.topoPos[buf[b].c] })
+		e.childCount[v] = int32(len(buf))
+		flat = flat[:0]
+		for _, x := range buf {
+			flat = append(flat, x.c, x.w)
+		}
+		if err := e.store.AppendAll(v, flat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// singleParentReduce applies Jiang's single-parent optimization (Section
+// 3.3): a non-source node of the magic graph with exactly one parent is
+// reduced to a sink, its children adopted by the parent. Reductions are
+// applied in topological order so chains of single-parent nodes collapse
+// in one pass. The returned adjacency replaces the input.
+func (e *engine) singleParentReduce(adj [][]int32) [][]int32 {
+	n := e.db.n
+	parents := make([]int32, n+1) // in-degree within the magic graph
+	for _, v := range e.order {
+		for _, c := range adj[v] {
+			parents[c]++
+		}
+	}
+	// soleParent keeps the last recorded parent; it is only consulted for
+	// nodes whose in-degree is exactly 1, where it is exact.
+	soleParent := make([]int32, n+1)
+	for _, v := range e.order {
+		for _, c := range adj[v] {
+			soleParent[c] = v
+		}
+	}
+	reduced := make([]bool, n+1)
+	for _, v := range e.order { // topological order: parents before children
+		if e.isSource[v] || parents[v] != 1 {
+			continue
+		}
+		p := soleParent[v]
+		if reduced[v] || p == 0 {
+			continue
+		}
+		// Adopt v's children into p, then make v a sink. The adopted
+		// children keep v as a second potential parent only on paper; the
+		// arc (v, c) is deleted, so their in-degree is unchanged and the
+		// sole parent becomes p.
+		for _, c := range adj[v] {
+			soleParent[c] = p
+		}
+		adj[p] = mergeAdopted(adj[p], adj[v])
+		adj[v] = nil
+		reduced[v] = true
+	}
+	return adj
+}
+
+// mergeAdopted appends the orphaned children to the parent's child list,
+// dropping duplicates (the arc parent -> reduced stays: the reduced node
+// is still a successor, now a sink).
+func mergeAdopted(parent, adopted []int32) []int32 {
+	have := make(map[int32]bool, len(parent))
+	for _, c := range parent {
+		have[c] = true
+	}
+	for _, c := range adopted {
+		if !have[c] {
+			have[c] = true
+			parent = append(parent, c)
+		}
+	}
+	return parent
+}
+
+// buildPredLists builds the immediate-predecessor lists of the magic graph
+// needed by Compute_Tree (Section 3.6). Predecessors are appended in
+// descending topological position so the nearest predecessors are
+// processed first.
+//
+// With dual=false (JKB) only the source-clustered relation exists, so the
+// magic graph's tuple pages are probed a second time and each arc is routed
+// to its head's predecessor list — appends interleave across many lists,
+// which is exactly the expensive pattern the paper observed for high
+// out-degrees. With dual=true (JKB2) the destination-clustered inverse
+// relation is probed once per magic node, appending each list in full
+// (Section 4.1: roughly twice the restructuring cost of BTC).
+func (e *engine) buildPredLists(dual bool) (*slist.Store, error) {
+	preds := slist.NewStore(e.pool, "predecessor-lists", e.db.n+1, e.listPolicy)
+	if e.cfg.DisableClustering {
+		preds.SetClustering(false)
+	}
+	if dual {
+		// One probe of the inverse relation per magic node, filtered to
+		// magic-graph predecessors, appended in one run per list.
+		var buf []int32
+		for i := len(e.order) - 1; i >= 0; i-- {
+			v := e.order[i]
+			buf = buf[:0]
+			_, err := e.probeInv(v, func(p int32) bool {
+				if e.topoPos[p] >= 0 {
+					buf = append(buf, p)
+				}
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+			sort.Slice(buf, func(a, b int) bool { return e.topoPos[buf[a]] > e.topoPos[buf[b]] })
+			if err := preds.AppendAll(v, buf); err != nil {
+				return nil, err
+			}
+		}
+		return preds, nil
+	}
+	// Single-relation variant: re-probe each magic node's tuples in
+	// reverse topological order and scatter the arcs to the heads'
+	// predecessor lists.
+	for i := len(e.order) - 1; i >= 0; i-- {
+		v := e.order[i]
+		var children []int32
+		if _, err := e.probeRel(v, func(c int32) bool {
+			children = append(children, c)
+			return true
+		}); err != nil {
+			return nil, err
+		}
+		for _, c := range children {
+			if e.topoPos[c] < 0 {
+				continue
+			}
+			if err := preds.Append(c, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return preds, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"tcstudy/internal/extsort"
+	"tcstudy/internal/relation"
+)
+
+// The Seminaive baseline: the classic iterative (delta) evaluation of
+// recursive queries that the earlier studies the paper builds on ([1, 3,
+// 19] in its related-work section) compared the graph-based algorithms
+// against. It is implemented here so the library carries the baseline the
+// paper's conclusions rest on.
+//
+// Evaluation: T := Δ := R restricted to the source rows; then repeat
+//
+//	C  := π(Δ ⋈ R)             join output, with duplicates
+//	Cs := sort(C)              external merge sort, duplicates dropped
+//	Δ' := Cs − T,  T := T ∪ Cs one sorted co-merge producing both
+//
+// until Δ' is empty. As in the original studies, duplicate elimination is
+// sort-based and the accumulated result is rescanned and rewritten every
+// iteration — the characteristic I/O profile that loses to the graph-based
+// algorithms on full closures. For selective queries the iteration
+// restricts itself to source rows (selection efficiency 1), the regime
+// where Kabler et al. found Seminaive most competitive.
+func (e *engine) runSeminaive() error {
+	srcs := e.sources()
+	workPages := e.cfg.BufferPages - 4
+	if workPages < 2 {
+		workPages = 2
+	}
+
+	T := relation.NewHeap(e.pool, "seminaive-T")
+	delta := relation.NewHeap(e.pool, "seminaive-delta")
+
+	err := e.timedPhase(false, func() error {
+		// Seed: the source rows of R, sorted and deduplicated.
+		seed := relation.NewHeap(e.pool, "seminaive-seed")
+		for _, s := range srcs {
+			var appendErr error
+			if _, err := e.probeRel(s, func(c int32) bool {
+				e.met.TuplesGenerated++
+				appendErr = seed.Append(relation.Tuple{Key: s, Val: c})
+				return appendErr == nil
+			}); err != nil {
+				return err
+			}
+			if appendErr != nil {
+				return appendErr
+			}
+		}
+		sorted, err := extsort.Sort(e.pool, seed, workPages, "seminaive-seed-sorted")
+		if err != nil {
+			return err
+		}
+		seed.Discard()
+		// T and Δ both start as the sorted seed.
+		var copyErr error
+		if err := sorted.Scan(func(t relation.Tuple) bool {
+			e.met.DistinctTuples++
+			if copyErr = T.Append(t); copyErr != nil {
+				return false
+			}
+			copyErr = delta.Append(t)
+			return copyErr == nil
+		}); err != nil {
+			return err
+		}
+		if copyErr != nil {
+			return copyErr
+		}
+		sorted.Discard()
+
+		for delta.Len() > 0 {
+			e.met.ListUnions++ // one join pass per iteration
+
+			// C := π(Δ ⋈ R).
+			c := relation.NewHeap(e.pool, "seminaive-C")
+			var joinErr error
+			if err := delta.Scan(func(t relation.Tuple) bool {
+				if _, err := e.probeRel(t.Val, func(z int32) bool {
+					e.met.TuplesGenerated++
+					e.met.SuccessorsFetched++
+					joinErr = c.Append(relation.Tuple{Key: t.Key, Val: z})
+					return joinErr == nil
+				}); err != nil {
+					joinErr = err
+				}
+				return joinErr == nil
+			}); err != nil {
+				return err
+			}
+			if joinErr != nil {
+				return joinErr
+			}
+
+			// Cs := sort(C) with duplicate elimination.
+			cs, err := extsort.Sort(e.pool, c, workPages, "seminaive-Cs")
+			if err != nil {
+				return err
+			}
+			c.Discard()
+
+			// Co-merge: T' := T ∪ Cs, Δ' := Cs − T.
+			newT := relation.NewHeap(e.pool, "seminaive-T2")
+			newDelta := relation.NewHeap(e.pool, "seminaive-delta2")
+			if err := e.seminaiveMerge(T, cs, newT, newDelta); err != nil {
+				return err
+			}
+			cs.Discard()
+			T.Discard()
+			delta.Discard()
+			T, delta = newT, newDelta
+		}
+		e.met.SourceTuples = e.met.DistinctTuples
+		return T.Flush()
+	})
+	if err != nil {
+		return err
+	}
+
+	// Collect the answer after measurement.
+	e.answer = make(map[int32][]int32, len(srcs))
+	for _, s := range srcs {
+		e.answer[s] = nil
+	}
+	return T.Scan(func(t relation.Tuple) bool {
+		e.answer[t.Key] = append(e.answer[t.Key], t.Val)
+		return true
+	})
+}
+
+// seminaiveMerge co-merges the sorted result T with the sorted,
+// deduplicated join output cs: every tuple lands in newT, and the tuples
+// new to T also land in newDelta.
+func (e *engine) seminaiveMerge(T, cs, newT, newDelta *relation.Heap) error {
+	tl := func(a, b relation.Tuple) bool {
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Val < b.Val
+	}
+	ct := T.Cursor()
+	cc := cs.Cursor()
+	defer ct.Close()
+	defer cc.Close()
+	tv, tok := ct.Next()
+	cv, cok := cc.Next()
+	for tok || cok {
+		switch {
+		case tok && (!cok || tl(tv, cv)):
+			if err := newT.Append(tv); err != nil {
+				return err
+			}
+			tv, tok = ct.Next()
+		case cok && (!tok || tl(cv, tv)):
+			e.met.DistinctTuples++
+			if err := newT.Append(cv); err != nil {
+				return err
+			}
+			if err := newDelta.Append(cv); err != nil {
+				return err
+			}
+			cv, cok = cc.Next()
+		default: // equal: already in T
+			e.met.Duplicates++
+			if err := newT.Append(tv); err != nil {
+				return err
+			}
+			tv, tok = ct.Next()
+			cv, cok = cc.Next()
+		}
+	}
+	if err := ct.Err(); err != nil {
+		return err
+	}
+	return cc.Err()
+}

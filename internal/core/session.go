@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/pagedisk"
+	"tcstudy/internal/slist"
+)
+
+// Session runs a sequence of queries over one database through a shared,
+// warm buffer pool. The paper's experiments are deliberately cold — every
+// measurement starts from an empty pool — but a library user issuing many
+// reachability queries benefits from keeping the relation's hot pages
+// resident. Each query still gets its own full metric record (attributed
+// by counter deltas, so the shared pool does not blur accounting).
+//
+// A session is not safe for concurrent use. After a query returns an I/O
+// error the session is broken (buffer pins may be outstanding) and refuses
+// further queries; the database itself remains usable through new sessions
+// or Run.
+type Session struct {
+	db     *Database
+	cfg    Config
+	pool   *buffer.Pool
+	broken bool
+}
+
+// ErrSessionBroken is returned by Session.Run after a previous query
+// failed.
+var ErrSessionBroken = errors.New("core: session broken by an earlier error")
+
+// NewSession validates the configuration and opens a session.
+func NewSession(db *Database, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BufferPages < 4 {
+		return nil, fmt.Errorf("core: buffer pool must have at least 4 pages, got %d", cfg.BufferPages)
+	}
+	pagePol, err := buffer.NewPolicy(cfg.PagePolicy, cfg.BufferPages)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := slist.NewListPolicy(cfg.ListPolicy); err != nil {
+		return nil, err
+	}
+	return &Session{
+		db:   db,
+		cfg:  cfg,
+		pool: buffer.New(db.disk, cfg.BufferPages, pagePol),
+	}, nil
+}
+
+// Pool exposes the session's buffer pool (for tests and instrumentation).
+func (s *Session) Pool() *buffer.Pool { return s.pool }
+
+// Run executes one query within the session.
+func (s *Session) Run(alg Algorithm, q Query) (*Result, error) {
+	if s.broken {
+		return nil, ErrSessionBroken
+	}
+	listPol, err := slist.NewListPolicy(s.cfg.ListPolicy)
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range q.Sources {
+		if src < 1 || src > int32(s.db.n) {
+			return nil, fmt.Errorf("core: source node %d outside 1..%d", src, s.db.n)
+		}
+	}
+	baseFiles := s.db.disk.NumFiles()
+	res, err := execute(s.db, s.pool, listPol, alg, q, s.cfg)
+	if err != nil {
+		// Error paths can leave pages pinned; retire the session rather
+		// than risk a slow frame leak.
+		s.broken = true
+		return nil, err
+	}
+	// Release this query's temporary files: drop their buffered pages,
+	// then their storage.
+	for id := baseFiles; id < s.db.disk.NumFiles(); id++ {
+		s.pool.DiscardFile(pagedisk.FileID(id))
+		s.db.disk.Truncate(pagedisk.FileID(id))
+	}
+	return res, nil
+}
+
+// execute is the engine entry shared by Run and Session.Run: it performs
+// one query on the given pool.
+func execute(db *Database, pool *buffer.Pool, listPol slist.ListPolicy, alg Algorithm, q Query, cfg Config) (*Result, error) {
+	e := &engine{
+		db:         db,
+		cfg:        cfg,
+		pool:       pool,
+		q:          q,
+		met:        Metrics{Algorithm: alg},
+		listPolicy: listPol,
+	}
+	var run func() error
+	switch alg {
+	case BTC:
+		run = e.runBTC
+	case HYB:
+		run = e.runHYB
+	case BJ:
+		run = e.runBJ
+	case SRCH:
+		run = e.runSRCH
+	case SPN:
+		run = e.runSPN
+	case JKB:
+		run = func() error { return e.runJKB(false) }
+	case JKB2:
+		run = func() error { return e.runJKB(true) }
+	case SEMI:
+		run = e.runSeminaive
+	case WARREN:
+		run = e.runWarren
+	case SCHMITZ:
+		run = e.runSchmitz
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+	if err := run(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", alg, err)
+	}
+	if e.store != nil {
+		e.met.Store = e.store.Stats()
+	}
+	return &Result{Metrics: e.met, Successors: e.answer}, nil
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+)
+
+// weightOf derives a deterministic pseudo-random weight from the arc
+// itself, so references and the engine agree without shared state.
+func weightOf(a graph.Arc) int32 {
+	x := uint32(a.From)*2654435761 + uint32(a.To)*40503
+	return int32(x%97) + 1 // 1..97
+}
+
+// refWeighted computes reference weighted aggregates by DP over a
+// topological order.
+func refWeighted(t *testing.T, g *graph.Graph, agg PathAggregate) []map[int32]int64 {
+	t.Helper()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]map[int32]int64, g.N()+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		acc := map[int32]int64{}
+		for _, c := range g.Children(v) {
+			w := int64(weightOf(graph.Arc{From: v, To: c}))
+			combineArc(agg, acc, c, w)
+			for u, val := range out[c] {
+				combinePath(agg, acc, u, val, w)
+			}
+		}
+		out[v] = acc
+	}
+	return out
+}
+
+func weightedDB(t *testing.T, seed int64, n, f, l int) (*graph.Graph, *Database) {
+	t.Helper()
+	arcs, err := graphgen.Generate(graphgen.Params{Nodes: n, OutDegree: f, Locality: l, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(n, arcs)
+	db, err := NewDatabaseWeighted(n, arcs, weightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, db
+}
+
+func TestWeightedAggregatesAgainstReference(t *testing.T) {
+	for _, agg := range []PathAggregate{MinWeight, MaxWeight} {
+		t.Run(string(agg), func(t *testing.T) {
+			g, db := weightedDB(t, 811, 150, 4, 30)
+			want := refWeighted(t, g, agg)
+			res, err := RunPaths(db, agg, Query{}, Config{BufferPages: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var all []int32
+			for v := int32(1); v <= int32(g.N()); v++ {
+				all = append(all, v)
+			}
+			checkPathValues(t, agg, res.Values, want, all)
+			sources := graphgen.SourceSet(150, 4, 6)
+			sel, err := RunPaths(db, agg, Query{Sources: sources}, Config{BufferPages: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkPathValues(t, agg, sel.Values, want, sources)
+		})
+	}
+}
+
+func TestWeightedKnownGraph(t *testing.T) {
+	// 1 -> 2 (w), 1 -> 3, 2 -> 4, 3 -> 4: min route through the lighter
+	// branch, max through the heavier.
+	arcs := []graph.Arc{{From: 1, To: 2}, {From: 1, To: 3}, {From: 2, To: 4}, {From: 3, To: 4}}
+	weights := map[graph.Arc]int32{
+		{From: 1, To: 2}: 10, {From: 1, To: 3}: 1,
+		{From: 2, To: 4}: 10, {From: 3, To: 4}: 1,
+	}
+	db, err := NewDatabaseWeighted(4, arcs, func(a graph.Arc) int32 { return weights[a] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := RunPaths(db, MinWeight, Query{Sources: []int32{1}}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Values[1][4] != 2 {
+		t.Fatalf("minweight(1,4) = %d, want 2", min.Values[1][4])
+	}
+	max, err := RunPaths(db, MaxWeight, Query{Sources: []int32{1}}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max.Values[1][4] != 20 {
+		t.Fatalf("maxweight(1,4) = %d, want 20", max.Values[1][4])
+	}
+}
+
+func TestWeightedNegativeWeightsOnDAG(t *testing.T) {
+	// DAG dynamic programming handles negative weights (no cycles).
+	arcs := []graph.Arc{{From: 1, To: 2}, {From: 2, To: 3}, {From: 1, To: 3}}
+	weights := map[graph.Arc]int32{
+		{From: 1, To: 2}: -5, {From: 2, To: 3}: -5, {From: 1, To: 3}: 1,
+	}
+	db, err := NewDatabaseWeighted(3, arcs, func(a graph.Arc) int32 { return weights[a] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := RunPaths(db, MinWeight, Query{Sources: []int32{1}}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Values[1][3] != -10 {
+		t.Fatalf("minweight(1,3) = %d, want -10", min.Values[1][3])
+	}
+}
+
+func TestWeightedAggregateRequiresWeightedDB(t *testing.T) {
+	_, db := randomDAG(t, 812, 50, 2, 10)
+	if _, err := RunPaths(db, MinWeight, Query{}, Config{BufferPages: 8}); err == nil {
+		t.Fatal("MinWeight accepted on an unweighted database")
+	}
+}
+
+func TestWeightedDBRunsReachabilityUnchanged(t *testing.T) {
+	// Every reachability algorithm works on a weighted database — the
+	// weight column sits beside the relation without disturbing it.
+	g, db := weightedDB(t, 813, 120, 3, 25)
+	want := refSuccessors(t, g, nil)
+	for _, alg := range Algorithms() {
+		res, err := Run(db, alg, Query{}, Config{BufferPages: 8, ILIMIT: 0.2})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkAnswer(t, alg, res.Successors, want, true, g)
+	}
+}
+
+func TestWeightedDedupKeepsSmallestWeight(t *testing.T) {
+	// Duplicate arcs keep the smallest weight (shortest-path semantics).
+	arcs := []graph.Arc{{From: 1, To: 2}, {From: 1, To: 2}}
+	first := true
+	db, err := NewDatabaseWeighted(2, arcs, func(graph.Arc) int32 {
+		if first {
+			first = false
+			return 7
+		}
+		return 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPaths(db, MinWeight, Query{Sources: []int32{1}}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[1][2] != 3 {
+		t.Fatalf("deduplicated weight = %d, want 3", res.Values[1][2])
+	}
+}
+
+func TestWeightedHopAggregatesIgnoreWeights(t *testing.T) {
+	// MinHops on a weighted database equals MinHops on the plain one.
+	arcs, err := graphgen.Generate(graphgen.Params{Nodes: 80, OutDegree: 3, Locality: 20, Seed: 814})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewDatabase(80, arcs)
+	weighted, err := NewDatabaseWeighted(80, arcs, weightOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunPaths(plain, MinHops, Query{}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPaths(weighted, MinHops, Query{}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, row := range a.Values {
+		for u, d := range row {
+			if b.Values[v][u] != d {
+				t.Fatalf("minhops(%d,%d) differs: %d vs %d", v, u, b.Values[v][u], d)
+			}
+		}
+	}
+}
+
+func TestWeightedRandomizedSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(815))
+	for trial := 0; trial < 5; trial++ {
+		n := rng.Intn(100) + 20
+		g, db := weightedDB(t, int64(900+trial), n, rng.Intn(4)+1, rng.Intn(n)+5)
+		for _, agg := range []PathAggregate{MinWeight, MaxWeight} {
+			want := refWeighted(t, g, agg)
+			res, err := RunPaths(db, agg, Query{}, Config{BufferPages: rng.Intn(8) + 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var all []int32
+			for v := int32(1); v <= int32(g.N()); v++ {
+				all = append(all, v)
+			}
+			checkPathValues(t, agg, res.Values, want, all)
+		}
+	}
+}

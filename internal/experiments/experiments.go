@@ -1,0 +1,253 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 6), plus the ablations DESIGN.md calls out.
+// Each experiment is a named runner producing a Table — the rows/series
+// the paper reports — over the study's 12 synthetic graph families
+// (Table 2) with the paper's query and system parameters (Table 1).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tcstudy/internal/core"
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+)
+
+// Table is one regenerated artifact: a titled grid of cells plus notes on
+// the qualitative shape the paper reports for it.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render returns the table as fixed-width text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// Suite holds shared experiment state: the study graphs are generated once
+// and their databases reused across experiments.
+type Suite struct {
+	// Nodes is the graph size; the paper uses 2000. Smaller values give a
+	// faster, shape-preserving "quick" mode.
+	Nodes int
+	// Seed fixes the generator; the paper averages 5 random graphs per
+	// family, we report one fixed instance per family by default.
+	Seed int64
+	// QueryReps is the number of random source sets averaged per selection
+	// query (the paper uses 5).
+	QueryReps int
+	// Progress, when non-nil, receives one line per completed step.
+	Progress func(string)
+
+	graphs  map[string]*studyGraph
+	highSel []highSelCell // cached grid shared by Figures 8-12
+}
+
+// NewSuite returns a suite with the paper's defaults.
+func NewSuite() *Suite {
+	return &Suite{Nodes: 2000, Seed: 1, QueryReps: 3}
+}
+
+func (s *Suite) progress(format string, args ...any) {
+	if s.Progress != nil {
+		s.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// GraphSpec identifies one study graph family of Table 2.
+type GraphSpec struct {
+	Name      string
+	OutDegree int // F
+	Locality  int // l
+}
+
+// StudyGraphs lists the 12 families G1–G12 (Table 2: F in {2,5,20,50}
+// crossed with generation locality l in {20,200,2000}).
+func StudyGraphs() []GraphSpec {
+	var specs []GraphSpec
+	i := 1
+	for _, f := range []int{2, 5, 20, 50} {
+		for _, l := range []int{20, 200, 2000} {
+			specs = append(specs, GraphSpec{Name: fmt.Sprintf("G%d", i), OutDegree: f, Locality: l})
+			i++
+		}
+	}
+	return specs
+}
+
+type studyGraph struct {
+	spec  GraphSpec
+	g     *graph.Graph
+	db    *core.Database
+	stats *graph.Stats
+}
+
+// Graph returns (building and caching on first use) one study graph.
+func (s *Suite) Graph(name string) (*studyGraph, error) {
+	if s.graphs == nil {
+		s.graphs = make(map[string]*studyGraph)
+	}
+	if sg, ok := s.graphs[name]; ok {
+		return sg, nil
+	}
+	for _, spec := range StudyGraphs() {
+		if spec.Name != name {
+			continue
+		}
+		// Locality scales with the graph when running reduced-size quick
+		// suites, preserving the deep/shallow family shapes.
+		l := spec.Locality
+		if s.Nodes != 2000 {
+			l = spec.Locality * s.Nodes / 2000
+			if l < 2 {
+				l = 2
+			}
+		}
+		arcs, err := graphgen.Generate(graphgen.Params{
+			Nodes: s.Nodes, OutDegree: spec.OutDegree, Locality: l, Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sg := &studyGraph{spec: spec, g: graph.New(s.Nodes, arcs), db: core.NewDatabase(s.Nodes, arcs)}
+		s.graphs[name] = sg
+		s.progress("generated %s (F=%d l=%d): %d arcs", name, spec.OutDegree, l, len(arcs))
+		return sg, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown study graph %q", name)
+}
+
+// runner is one registered experiment.
+type runner struct {
+	id    string
+	title string
+	fn    func(*Suite) (*Table, error)
+}
+
+var registry = []runner{
+	{"table2", "Graph parameters of the study DAGs", (*Suite).Table2},
+	{"table3", "I/O and CPU cost breakdown of BTC (G6, CTC)", (*Suite).Table3},
+	{"fig6", "Hybrid vs BTC: effect of blocking (G9, CTC)", (*Suite).Fig6},
+	{"fig7", "Successor tree algorithms vs BTC (CTC, locality 200)", (*Suite).Fig7},
+	{"fig8", "High selectivity PTC: total I/O (G4 and G11)", (*Suite).Fig8},
+	{"fig9", "High selectivity PTC: tuples and selection efficiency", (*Suite).Fig9},
+	{"fig10", "High selectivity PTC: successor list unions", (*Suite).Fig10},
+	{"fig11", "High selectivity PTC: marking percentage", (*Suite).Fig11},
+	{"fig12", "High selectivity PTC: avg locality of unmarked arcs", (*Suite).Fig12},
+	{"fig13", "Effect of buffer pool size (10 source nodes)", (*Suite).Fig13},
+	{"fig14", "Low selectivity PTC trends (G9)", (*Suite).Fig14},
+	{"table4", "JKB2 vs BTC I/O ratio against graph width", (*Suite).Table4},
+	{"relatedwork", "Graph-based vs iterative and matrix baselines", (*Suite).RelatedWork},
+	{"ablation-policies", "Page and list replacement policy grid (BTC)", (*Suite).AblationPolicies},
+	{"ablation-marking", "Marking optimization on/off (BTC)", (*Suite).AblationMarking},
+	{"ablation-clustering", "Inter-list clustering on/off (BTC)", (*Suite).AblationClustering},
+	{"ablation-index", "Charging index interior I/O (B+-tree vs free index)", (*Suite).AblationIndex},
+	{"condensation", "Cyclic input via SCC condensation", (*Suite).Condensation},
+	{"extension-paths", "Generalized closure: path aggregates", (*Suite).ExtensionPaths},
+	{"extension-session", "Warm-buffer sessions vs cold runs", (*Suite).ExtensionSession},
+}
+
+// IDs lists every registered experiment in run order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, r := range registry {
+		ids[i] = r.id
+	}
+	return ids
+}
+
+// Titles maps experiment IDs to their titles.
+func Titles() map[string]string {
+	m := make(map[string]string, len(registry))
+	for _, r := range registry {
+		m[r.id] = r.title
+	}
+	return m
+}
+
+// Run executes one experiment by ID.
+func (s *Suite) Run(id string) (*Table, error) {
+	for _, r := range registry {
+		if r.id == id {
+			s.progress("running %s: %s", r.id, r.title)
+			return r.fn(s)
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+		id, strings.Join(known, ", "))
+}
+
+// RunAll executes every experiment in registry order.
+func (s *Suite) RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, r := range registry {
+		t, err := s.Run(r.id)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", r.id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

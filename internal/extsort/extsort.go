@@ -1,0 +1,169 @@
+// Package extsort implements external merge sort over tuple heap files —
+// the sort-based duplicate elimination machinery the iterative (Seminaive)
+// baseline pays for on every iteration, as it did in the earlier studies
+// the paper's related-work section draws on.
+//
+// Sorting proceeds classically: run generation fills a bounded number of
+// buffer-pool pages worth of tuples, sorts them in memory and writes each
+// run to its own temporary heap; runs are then merged with a bounded
+// fan-in, multiple passes if needed. Every page touched flows through the
+// buffer pool and is charged as I/O.
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/relation"
+)
+
+func less(a, b relation.Tuple) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Val < b.Val
+}
+
+// Sort sorts the input heap by (Key, Val), removing exact duplicates, and
+// returns a new sorted heap named name. workPages bounds both the run
+// generation working set and the merge fan-in; it must be at least 2 and
+// should leave headroom in the pool (run cursors pin one page each).
+// The input heap is not modified; callers usually Discard it afterwards.
+func Sort(pool *buffer.Pool, in *relation.Heap, workPages int, name string) (*relation.Heap, error) {
+	if workPages < 2 {
+		return nil, fmt.Errorf("extsort: need at least 2 work pages, got %d", workPages)
+	}
+
+	// --- Run generation -------------------------------------------------
+	capacity := workPages * relation.HeapTuplesPerPage
+	var runs []*relation.Heap
+	buf := make([]relation.Tuple, 0, capacity)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.Slice(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+		run := relation.NewHeap(pool, fmt.Sprintf("%s-run%d", name, len(runs)))
+		for i, t := range buf {
+			if i > 0 && t == buf[i-1] {
+				continue // in-run duplicate
+			}
+			if err := run.Append(t); err != nil {
+				return err
+			}
+		}
+		runs = append(runs, run)
+		buf = buf[:0]
+		return nil
+	}
+	var scanErr error
+	if err := in.Scan(func(t relation.Tuple) bool {
+		buf = append(buf, t)
+		if len(buf) == capacity {
+			if scanErr = flush(); scanErr != nil {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return relation.NewHeap(pool, name), nil
+	}
+
+	// --- Merge passes ----------------------------------------------------
+	pass := 0
+	for len(runs) > 1 {
+		fanIn := workPages
+		var next []*relation.Heap
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			outName := fmt.Sprintf("%s-p%d-%d", name, pass, len(next))
+			if hi == len(runs) && lo == 0 {
+				outName = name // final merge produces the result
+			}
+			merged, err := mergeRuns(pool, runs[lo:hi], outName)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range runs[lo:hi] {
+				r.Discard()
+			}
+			next = append(next, merged)
+		}
+		runs = next
+		pass++
+	}
+	return runs[0], nil
+}
+
+// mergeItem is one cursor's head tuple in the merge heap.
+type mergeItem struct {
+	t   relation.Tuple
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (m mergeHeap) Len() int           { return len(m) }
+func (m mergeHeap) Less(i, j int) bool { return less(m[i].t, m[j].t) }
+func (m mergeHeap) Swap(i, j int)      { m[i], m[j] = m[j], m[i] }
+func (m *mergeHeap) Push(x any)        { *m = append(*m, x.(mergeItem)) }
+func (m *mergeHeap) Pop() any          { old := *m; x := old[len(old)-1]; *m = old[:len(old)-1]; return x }
+
+func mergeRuns(pool *buffer.Pool, runs []*relation.Heap, name string) (*relation.Heap, error) {
+	out := relation.NewHeap(pool, name)
+	cursors := make([]*relation.Cursor, len(runs))
+	defer func() {
+		for _, c := range cursors {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	var mh mergeHeap
+	for i, r := range runs {
+		c := r.Cursor()
+		cursors[i] = c
+		if t, ok := c.Next(); ok {
+			mh = append(mh, mergeItem{t: t, src: i})
+		} else if c.Err() != nil {
+			return nil, c.Err()
+		}
+	}
+	heap.Init(&mh)
+	var last relation.Tuple
+	first := true
+	for mh.Len() > 0 {
+		item := mh[0]
+		if t, ok := cursors[item.src].Next(); ok {
+			mh[0] = mergeItem{t: t, src: item.src}
+			heap.Fix(&mh, 0)
+		} else {
+			if err := cursors[item.src].Err(); err != nil {
+				return nil, err
+			}
+			heap.Pop(&mh)
+		}
+		if first || item.t != last {
+			if err := out.Append(item.t); err != nil {
+				return nil, err
+			}
+			last = item.t
+			first = false
+		}
+	}
+	return out, nil
+}

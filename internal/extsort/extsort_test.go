@@ -1,0 +1,180 @@
+package extsort
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/pagedisk"
+	"tcstudy/internal/relation"
+)
+
+func pool(t testing.TB, frames int) *buffer.Pool {
+	t.Helper()
+	d := pagedisk.New()
+	pol, err := buffer.NewPolicy("lru", frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buffer.New(d, frames, pol)
+}
+
+func fillHeap(t *testing.T, p *buffer.Pool, tuples []relation.Tuple) *relation.Heap {
+	t.Helper()
+	h := relation.NewHeap(p, "in")
+	for _, tu := range tuples {
+		if err := h.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func readHeap(t *testing.T, h *relation.Heap) []relation.Tuple {
+	t.Helper()
+	var out []relation.Tuple
+	if err := h.Scan(func(tu relation.Tuple) bool { out = append(out, tu); return true }); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func isSortedUnique(ts []relation.Tuple) bool {
+	for i := 1; i < len(ts); i++ {
+		a, b := ts[i-1], ts[i]
+		if a.Key > b.Key || (a.Key == b.Key && a.Val >= b.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortSmall(t *testing.T) {
+	p := pool(t, 8)
+	in := fillHeap(t, p, []relation.Tuple{{Key: 3, Val: 1}, {Key: 1, Val: 2}, {Key: 3, Val: 1}, {Key: 1, Val: 1}, {Key: 2, Val: 9}})
+	out, err := Sort(p, in, 2, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readHeap(t, out)
+	want := []relation.Tuple{{Key: 1, Val: 1}, {Key: 1, Val: 2}, {Key: 2, Val: 9}, {Key: 3, Val: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if out.Len() != 4 {
+		t.Fatalf("Len = %d", out.Len())
+	}
+}
+
+func TestSortEmpty(t *testing.T) {
+	p := pool(t, 8)
+	in := fillHeap(t, p, nil)
+	out, err := Sort(p, in, 2, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty sort produced %d tuples", out.Len())
+	}
+}
+
+func TestSortRejectsTinyWorkPages(t *testing.T) {
+	p := pool(t, 8)
+	in := fillHeap(t, p, nil)
+	if _, err := Sort(p, in, 1, "out"); err == nil {
+		t.Fatal("workPages=1 accepted")
+	}
+}
+
+func TestSortMultiRunMultiPass(t *testing.T) {
+	// Force multiple runs and more runs than the fan-in, so multiple merge
+	// passes happen: capacity per run = 2 pages * 255 = 510 tuples; 8000
+	// tuples -> 16 runs -> fan-in 2 -> 4 merge passes.
+	p := pool(t, 8)
+	rng := rand.New(rand.NewSource(5))
+	var ts []relation.Tuple
+	for i := 0; i < 8000; i++ {
+		ts = append(ts, relation.Tuple{Key: int32(rng.Intn(500)), Val: int32(rng.Intn(500))})
+	}
+	in := fillHeap(t, p, ts)
+	out, err := Sort(p, in, 2, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readHeap(t, out)
+	if !isSortedUnique(got) {
+		t.Fatal("output not sorted-unique")
+	}
+	// Same distinct set as the input.
+	want := map[relation.Tuple]bool{}
+	for _, tu := range ts {
+		want[tu] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct count %d, want %d", len(got), len(want))
+	}
+	for _, tu := range got {
+		if !want[tu] {
+			t.Fatalf("unexpected tuple %v", tu)
+		}
+	}
+}
+
+func TestSortChargesIO(t *testing.T) {
+	p := pool(t, 6)
+	var ts []relation.Tuple
+	for i := 0; i < 5000; i++ {
+		ts = append(ts, relation.Tuple{Key: int32(5000 - i), Val: int32(i)})
+	}
+	in := fillHeap(t, p, ts)
+	p.Disk().ResetStats()
+	if _, err := Sort(p, in, 2, "out"); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Disk().Stats()
+	if st.Reads == 0 || st.Writes == 0 {
+		t.Fatalf("external sort did no I/O: %+v", st)
+	}
+}
+
+func TestSortPropertyRandom(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := pool(t, 7)
+		n := rng.Intn(3000)
+		var ts []relation.Tuple
+		for i := 0; i < n; i++ {
+			ts = append(ts, relation.Tuple{Key: int32(rng.Intn(100)), Val: int32(rng.Intn(100))})
+		}
+		in := relation.NewHeap(p, "in")
+		for _, tu := range ts {
+			if err := in.Append(tu); err != nil {
+				return false
+			}
+		}
+		work := 2 + rng.Intn(3)
+		out, err := Sort(p, in, work, "out")
+		if err != nil {
+			return false
+		}
+		var got []relation.Tuple
+		_ = out.Scan(func(tu relation.Tuple) bool { got = append(got, tu); return true })
+		if !isSortedUnique(got) {
+			return false
+		}
+		distinct := map[relation.Tuple]bool{}
+		for _, tu := range ts {
+			distinct[tu] = true
+		}
+		return len(got) == len(distinct) && p.PinnedFrames() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

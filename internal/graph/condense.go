@@ -1,0 +1,137 @@
+package graph
+
+import "tcstudy/internal/bitset"
+
+// Condensation support. The paper restricts its study to acyclic graphs on
+// the standard ground (Section 1) that a cyclic graph's strongly connected
+// components can be merged cheaply into an acyclic condensation graph
+// before closure computation. This file supplies that preprocessing so the
+// library handles arbitrary directed graphs end to end.
+
+// Condensation maps a directed graph onto its DAG of strongly connected
+// components.
+type Condensation struct {
+	// DAG is the condensation graph; its nodes are component numbers 1..K.
+	DAG *Graph
+	// Component[v] is the DAG node that original node v belongs to
+	// (index 0 unused).
+	Component []int32
+	// Members[c] lists the original nodes of component c (index 0 unused).
+	Members [][]int32
+}
+
+// Condense computes the strongly connected components of g with Tarjan's
+// algorithm (iterative, so recursion depth is not a limit) and returns the
+// condensation. Components are numbered in reverse topological discovery
+// order and the returned DAG is acyclic by construction; self-arcs and
+// duplicate inter-component arcs are dropped.
+func (g *Graph) Condense() *Condensation {
+	n := g.n
+	index := make([]int32, n+1) // 0 = unvisited; else discovery index+1
+	lowlink := make([]int32, n+1)
+	onStack := make([]bool, n+1)
+	comp := make([]int32, n+1)
+	var tarjanStack []int32
+	var next int32 = 1
+	var nComp int32
+
+	type frame struct {
+		node  int32
+		child int
+	}
+	var stack []frame
+
+	visit := func(root int32) {
+		index[root] = next
+		lowlink[root] = next
+		next++
+		tarjanStack = append(tarjanStack, root)
+		onStack[root] = true
+		stack = append(stack, frame{node: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.node
+			if f.child < len(g.adj[v]) {
+				c := g.adj[v][f.child]
+				f.child++
+				if index[c] == 0 {
+					index[c] = next
+					lowlink[c] = next
+					next++
+					tarjanStack = append(tarjanStack, c)
+					onStack[c] = true
+					stack = append(stack, frame{node: c})
+				} else if onStack[c] && index[c] < lowlink[v] {
+					lowlink[v] = index[c]
+				}
+				continue
+			}
+			// Post-visit: pop a complete component if v is a root.
+			if lowlink[v] == index[v] {
+				nComp++
+				for {
+					w := tarjanStack[len(tarjanStack)-1]
+					tarjanStack = tarjanStack[:len(tarjanStack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := stack[len(stack)-1].node
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+		}
+	}
+	for v := int32(1); v <= int32(n); v++ {
+		if index[v] == 0 {
+			visit(v)
+		}
+	}
+
+	members := make([][]int32, nComp+1)
+	for v := int32(1); v <= int32(n); v++ {
+		members[comp[v]] = append(members[comp[v]], v)
+	}
+	var arcs []Arc
+	for v := int32(1); v <= int32(n); v++ {
+		for _, c := range g.adj[v] {
+			if comp[v] != comp[c] {
+				arcs = append(arcs, Arc{comp[v], comp[c]})
+			}
+		}
+	}
+	return &Condensation{
+		DAG:       New(int(nComp), arcs),
+		Component: comp,
+		Members:   members,
+	}
+}
+
+// ExpandClosure translates a closure over condensation components back to
+// the original node space: node u reaches node v iff comp(u) reaches
+// comp(v) in the DAG closure, or they share a non-trivial component.
+// succ is the DAG closure as returned by Closure on the condensation DAG.
+// The result maps each original node to its successors (unsorted).
+func (c *Condensation) ExpandClosure(succ []*bitset.Set) [][]int32 {
+	n := len(c.Component) - 1
+	out := make([][]int32, n+1)
+	for u := int32(1); u <= int32(n); u++ {
+		cu := c.Component[u]
+		var res []int32
+		// Nodes in the same (cyclic) component are mutual successors.
+		if len(c.Members[cu]) > 1 {
+			res = append(res, c.Members[cu]...)
+		}
+		succ[cu].ForEach(func(cv int32) {
+			res = append(res, c.Members[cv]...)
+		})
+		out[u] = res
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzCondense decodes an arbitrary directed graph (cycles included) from
+// fuzz input, condenses it, and checks the structural invariants: the
+// condensation is acyclic, components partition the nodes, and every
+// original arc maps to a same-component pair or a condensation arc.
+func FuzzCondense(f *testing.F) {
+	f.Add([]byte{1, 2, 2, 3, 3, 1})
+	f.Add([]byte{1, 1, 2, 2})
+	f.Add([]byte{5, 1, 4, 2, 3, 3, 2, 4, 1, 5, 1, 3, 3, 5})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n = 12
+		var arcs []Arc
+		for i := 0; i+1 < len(raw); i += 2 {
+			from := int32(raw[i]%n) + 1
+			to := int32(raw[i+1]%n) + 1
+			if from != to {
+				arcs = append(arcs, Arc{From: from, To: to})
+			}
+		}
+		g := New(n, arcs)
+		c := g.Condense()
+
+		if _, err := c.DAG.TopoSort(); err != nil {
+			t.Fatalf("condensation cyclic: %v", err)
+		}
+		// Components partition 1..n.
+		seen := map[int32]bool{}
+		for comp := int32(1); comp <= int32(c.DAG.N()); comp++ {
+			for _, v := range c.Members[comp] {
+				if seen[v] {
+					t.Fatalf("node %d in two components", v)
+				}
+				seen[v] = true
+				if c.Component[v] != comp {
+					t.Fatalf("membership inconsistent for node %d", v)
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("components cover %d of %d nodes", len(seen), n)
+		}
+		// Arc preservation.
+		dagArc := map[Arc]bool{}
+		for _, a := range c.DAG.Arcs() {
+			dagArc[a] = true
+		}
+		for _, a := range g.Arcs() {
+			cf, ct := c.Component[a.From], c.Component[a.To]
+			if cf == ct {
+				continue
+			}
+			if !dagArc[Arc{From: cf, To: ct}] {
+				t.Fatalf("arc (%d,%d) lost in condensation", a.From, a.To)
+			}
+		}
+	})
+}
+
+// FuzzClosureReductionDuality checks TC(TR(G)) = TC(G) on fuzz-generated
+// DAGs (arcs forced forward to guarantee acyclicity).
+func FuzzClosureReductionDuality(f *testing.F) {
+	f.Add([]byte{1, 2, 2, 3, 1, 3})
+	f.Add([]byte{0, 9, 3, 4, 4, 9, 0, 1})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n = 10
+		var arcs []Arc
+		for i := 0; i+1 < len(raw); i += 2 {
+			a := int32(raw[i]%n) + 1
+			b := int32(raw[i+1]%n) + 1
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			arcs = append(arcs, Arc{From: a, To: b})
+		}
+		g := New(n, arcs)
+		tr, redundant, err := g.Reduction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := g.Closure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tr.Closure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v <= n; v++ {
+			if !a[v].Equal(b[v]) {
+				t.Fatalf("closure changed by reduction at node %d", v)
+			}
+		}
+		// No irredundant arc may be dropped: count consistency.
+		kept := 0
+		for _, arc := range g.Arcs() {
+			if !redundant(arc) {
+				kept++
+			}
+		}
+		if kept != tr.NumArcs() {
+			t.Fatalf("reduction kept %d arcs, predicate says %d", tr.NumArcs(), kept)
+		}
+	})
+}

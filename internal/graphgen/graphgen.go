@@ -1,0 +1,113 @@
+// Package graphgen implements the paper's synthetic DAG workload generator
+// (Section 5.2).
+//
+// Graphs are controlled by three parameters: the number of nodes n, the
+// average out-degree F, and the generation locality l. Each node i draws an
+// out-degree uniformly from {0, …, 2F} and its arcs go to targets drawn
+// uniformly from [i+1, min(i+l, n)], which makes the node numbering a
+// topological order by construction. Duplicate arcs produced by sampling
+// with replacement are eliminated, and the locality bounds the achievable
+// out-degree near the locality limit (the two effects the paper's footnote
+// 1 notes when |G| < n·F).
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcstudy/internal/graph"
+	"tcstudy/internal/relation"
+)
+
+// Params controls graph generation.
+type Params struct {
+	Nodes     int   // n
+	OutDegree int   // F: average out-degree; per-node degree ~ U{0..2F}
+	Locality  int   // l: arcs from i restricted to [i+1, min(i+l, n)]
+	Seed      int64 // generator seed; fixed seeds make runs reproducible
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("n=%d F=%d l=%d seed=%d", p.Nodes, p.OutDegree, p.Locality, p.Seed)
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Nodes < 1 {
+		return fmt.Errorf("graphgen: need at least one node, got %d", p.Nodes)
+	}
+	if p.OutDegree < 0 {
+		return fmt.Errorf("graphgen: negative out-degree %d", p.OutDegree)
+	}
+	if p.Locality < 1 {
+		return fmt.Errorf("graphgen: locality must be at least 1, got %d", p.Locality)
+	}
+	return nil
+}
+
+// Generate produces the arc list of one synthetic DAG.
+func Generate(p Params) ([]graph.Arc, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var arcs []graph.Arc
+	seen := map[graph.Arc]bool{}
+	for i := 1; i <= p.Nodes; i++ {
+		hi := i + p.Locality
+		if hi > p.Nodes {
+			hi = p.Nodes
+		}
+		span := hi - i // number of admissible targets
+		if span == 0 {
+			continue
+		}
+		deg := rng.Intn(2*p.OutDegree + 1)
+		for k := 0; k < deg; k++ {
+			a := graph.Arc{From: int32(i), To: int32(i + 1 + rng.Intn(span))}
+			if !seen[a] {
+				seen[a] = true
+				arcs = append(arcs, a)
+			}
+		}
+	}
+	return arcs, nil
+}
+
+// GenerateGraph produces the in-memory graph directly.
+func GenerateGraph(p Params) (*graph.Graph, error) {
+	arcs, err := Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	return graph.New(p.Nodes, arcs), nil
+}
+
+// Tuples converts arcs to relation tuples (source as the clustering key).
+func Tuples(arcs []graph.Arc) []relation.Tuple {
+	ts := make([]relation.Tuple, len(arcs))
+	for i, a := range arcs {
+		ts[i] = relation.Tuple{Key: a.From, Val: a.To}
+	}
+	return ts
+}
+
+// SourceSet draws s distinct source nodes uniformly from 1..n, sorted
+// ascending, for the selection queries of Section 5.2.
+func SourceSet(n, s int, seed int64) []int32 {
+	if s > n {
+		s = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)[:s]
+	out := make([]int32, s)
+	for i, v := range perm {
+		out[i] = int32(v + 1)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

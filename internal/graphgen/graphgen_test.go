@@ -1,0 +1,199 @@
+package graphgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcstudy/internal/graph"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Nodes: 0, OutDegree: 2, Locality: 10},
+		{Nodes: 10, OutDegree: -1, Locality: 10},
+		{Nodes: 10, OutDegree: 2, Locality: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("params %v accepted", p)
+		}
+		if _, err := Generate(p); err == nil {
+			t.Fatalf("Generate accepted %v", p)
+		}
+	}
+	good := Params{Nodes: 10, OutDegree: 2, Locality: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p := Params{Nodes: 100, OutDegree: 5, Locality: 20, Seed: 42}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(p)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic arc count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arc %d differs", i)
+		}
+	}
+	p.Seed = 43
+	c, _ := Generate(p)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestArcsRespectLocalityAndAcyclicity(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := Params{Nodes: 200, OutDegree: 4, Locality: 15, Seed: seed}
+		arcs, err := Generate(p)
+		if err != nil {
+			return false
+		}
+		seen := map[graph.Arc]bool{}
+		for _, a := range arcs {
+			if a.To <= a.From { // forward arcs only: DAG by construction
+				return false
+			}
+			if int(a.To-a.From) > p.Locality {
+				return false
+			}
+			if a.To > int32(p.Nodes) {
+				return false
+			}
+			if seen[a] { // duplicates eliminated
+				return false
+			}
+			seen[a] = true
+		}
+		g := graph.New(p.Nodes, arcs)
+		_, err = g.TopoSort()
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverageOutDegreeNearF(t *testing.T) {
+	p := Params{Nodes: 5000, OutDegree: 5, Locality: 2000, Seed: 7}
+	arcs, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(len(arcs)) / float64(p.Nodes)
+	// Degrees are U{0..2F} with mean F, minus dedup/locality losses; with a
+	// wide locality the loss is small.
+	if avg < 4.0 || avg > 5.5 {
+		t.Fatalf("average out-degree = %v, want near 5", avg)
+	}
+}
+
+func TestLocalityBoundsOutDegree(t *testing.T) {
+	// Paper footnote 1 / graph G10: F=50, l=20 means at most 20 distinct
+	// targets per node, so |G| is well below n*F.
+	p := Params{Nodes: 2000, OutDegree: 50, Locality: 20, Seed: 1}
+	arcs, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arcs) > 2000*20 {
+		t.Fatalf("|G| = %d exceeds locality bound", len(arcs))
+	}
+	perNode := map[int32]int{}
+	for _, a := range arcs {
+		perNode[a.From]++
+		if perNode[a.From] > 20 {
+			t.Fatalf("node %d has out-degree > locality", a.From)
+		}
+	}
+}
+
+func TestGenerateGraphAndTuples(t *testing.T) {
+	p := Params{Nodes: 50, OutDegree: 3, Locality: 10, Seed: 9}
+	g, err := GenerateGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs, _ := Generate(p)
+	if g.NumArcs() != len(arcs) {
+		t.Fatalf("graph arcs %d != generated %d", g.NumArcs(), len(arcs))
+	}
+	ts := Tuples(arcs)
+	if len(ts) != len(arcs) {
+		t.Fatal("Tuples changed length")
+	}
+	for i := range ts {
+		if ts[i].Key != arcs[i].From || ts[i].Val != arcs[i].To {
+			t.Fatal("Tuples mismatch")
+		}
+	}
+}
+
+func TestSourceSet(t *testing.T) {
+	s := SourceSet(100, 10, 3)
+	if len(s) != 10 {
+		t.Fatalf("len = %d", len(s))
+	}
+	seen := map[int32]bool{}
+	for i, v := range s {
+		if v < 1 || v > 100 {
+			t.Fatalf("source %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate source %d", v)
+		}
+		seen[v] = true
+		if i > 0 && s[i-1] >= v {
+			t.Fatal("sources not sorted")
+		}
+	}
+	// Requesting more sources than nodes clamps.
+	all := SourceSet(5, 10, 1)
+	if len(all) != 5 {
+		t.Fatalf("clamped len = %d, want 5", len(all))
+	}
+}
+
+func TestStudyScaleFamilies(t *testing.T) {
+	// Sanity-check the paper's qualitative Table 2 trends at study scale:
+	// fixing F, lower locality gives deeper graphs (larger max level).
+	deep, _ := GenerateGraph(Params{Nodes: 2000, OutDegree: 5, Locality: 20, Seed: 5})
+	shallow, _ := GenerateGraph(Params{Nodes: 2000, OutDegree: 5, Locality: 2000, Seed: 5})
+	ld, err := deep.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := shallow.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOf := func(lv []int32) int32 {
+		var m int32
+		for _, v := range lv {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if maxOf(ld) <= maxOf(ls) {
+		t.Fatalf("locality 20 max level %d <= locality 2000 max level %d",
+			maxOf(ld), maxOf(ls))
+	}
+}

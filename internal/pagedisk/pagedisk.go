@@ -1,0 +1,203 @@
+// Package pagedisk implements the simulated disk underlying the study.
+//
+// The paper (Section 5.1, Section 6.1) measures the page I/O performed by a
+// simulated buffer manager over 2048-byte pages. This package provides that
+// disk: a set of files, each an extensible array of fixed-size pages, with
+// per-operation read/write accounting. All data lives in memory; "I/O" is a
+// counted event, exactly as in the paper's own experimental apparatus.
+//
+// The disk is safe for concurrent use: the catalog and page array are
+// guarded by a mutex, so multiple buffer pools (one per concurrent query)
+// can share one disk. Each individual query engine remains
+// single-threaded, as the paper's was.
+package pagedisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of a disk page in bytes (Section 5.1 of the paper).
+const PageSize = 2048
+
+// PageID identifies a page within a file. Valid IDs are non-negative.
+type PageID int32
+
+// InvalidPage is a sentinel PageID that refers to no page.
+const InvalidPage PageID = -1
+
+// FileID identifies a file on the disk.
+type FileID int32
+
+// Page is the unit of transfer between disk and buffer pool.
+type Page [PageSize]byte
+
+// Stats records cumulative I/O activity. Reads and Writes count page
+// transfers; Allocs counts pages added to files (allocation itself is a
+// catalog operation and is not charged as I/O — a fresh page is materialized
+// in the buffer and charged as a write when it is first flushed).
+type Stats struct {
+	Reads  int64
+	Writes int64
+	Allocs int64
+}
+
+// Total returns the total number of page transfers (reads plus writes).
+func (s Stats) Total() int64 { return s.Reads + s.Writes }
+
+// Sub returns the difference s - t, used to attribute I/O to a phase by
+// snapshotting before and after.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes, Allocs: s.Allocs - t.Allocs}
+}
+
+// ErrIOInjected is returned by Read and Write after a test has armed
+// failure injection with FailAfter.
+var ErrIOInjected = errors.New("pagedisk: injected I/O failure")
+
+type file struct {
+	name  string
+	pages []*Page
+}
+
+// Disk is a simulated multi-file disk.
+type Disk struct {
+	mu    sync.Mutex
+	files []file
+	stats Stats
+
+	// failAfter, when >= 0, makes every Read/Write past that many further
+	// operations fail with ErrIOInjected. Used by failure-injection tests.
+	failAfter int64
+}
+
+// New returns an empty disk.
+func New() *Disk {
+	return &Disk{failAfter: -1}
+}
+
+// CreateFile adds a new, empty file and returns its ID. The name is used
+// only for diagnostics.
+func (d *Disk) CreateFile(name string) FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files = append(d.files, file{name: name})
+	return FileID(len(d.files) - 1)
+}
+
+// FileName reports the name given to CreateFile.
+func (d *Disk) FileName(f FileID) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.files[f].name
+}
+
+// NumFiles reports the number of files on the disk.
+func (d *Disk) NumFiles() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files)
+}
+
+// NumPages reports the current length of a file in pages.
+func (d *Disk) NumPages(f FileID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.files[f].pages)
+}
+
+// Allocate extends a file by one zeroed page and returns its ID.
+func (d *Disk) Allocate(f FileID) PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fl := &d.files[f]
+	fl.pages = append(fl.pages, new(Page))
+	d.stats.Allocs++
+	return PageID(len(fl.pages) - 1)
+}
+
+// Truncate discards all pages of a file. It models dropping a temporary
+// file; no I/O is charged.
+func (d *Disk) Truncate(f FileID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files[f].pages = d.files[f].pages[:0]
+}
+
+func (d *Disk) check(f FileID, p PageID) error {
+	if int(f) < 0 || int(f) >= len(d.files) {
+		return fmt.Errorf("pagedisk: no such file %d", f)
+	}
+	if p < 0 || int(p) >= len(d.files[f].pages) {
+		return fmt.Errorf("pagedisk: page %d out of range for file %q (%d pages)",
+			p, d.files[f].name, len(d.files[f].pages))
+	}
+	return nil
+}
+
+func (d *Disk) inject() error {
+	if d.failAfter < 0 {
+		return nil
+	}
+	if d.failAfter == 0 {
+		return ErrIOInjected
+	}
+	d.failAfter--
+	return nil
+}
+
+// Read copies page p of file f into dst and counts one page read.
+func (d *Disk) Read(f FileID, p PageID, dst *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(f, p); err != nil {
+		return err
+	}
+	if err := d.inject(); err != nil {
+		return err
+	}
+	*dst = *d.files[f].pages[p]
+	d.stats.Reads++
+	return nil
+}
+
+// Write copies src into page p of file f and counts one page write.
+func (d *Disk) Write(f FileID, p PageID, src *Page) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(f, p); err != nil {
+		return err
+	}
+	if err := d.inject(); err != nil {
+		return err
+	}
+	*d.files[f].pages[p] = *src
+	d.stats.Writes++
+	return nil
+}
+
+// Stats returns the cumulative I/O counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the I/O counters. Harnesses call this after loading the
+// input relation so that database-construction I/O is not charged to the
+// query, mirroring the paper's setup where the relation pre-exists.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// FailAfter arms failure injection: after n further successful page
+// transfers, every Read and Write fails with ErrIOInjected. A negative n
+// disarms injection.
+func (d *Disk) FailAfter(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failAfter = n
+}

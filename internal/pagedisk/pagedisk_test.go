@@ -1,0 +1,168 @@
+package pagedisk
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateFileAndAllocate(t *testing.T) {
+	d := New()
+	f := d.CreateFile("rel")
+	if got := d.FileName(f); got != "rel" {
+		t.Fatalf("FileName = %q, want rel", got)
+	}
+	if d.NumPages(f) != 0 {
+		t.Fatalf("new file has %d pages, want 0", d.NumPages(f))
+	}
+	p0 := d.Allocate(f)
+	p1 := d.Allocate(f)
+	if p0 != 0 || p1 != 1 {
+		t.Fatalf("Allocate returned %d,%d, want 0,1", p0, p1)
+	}
+	if d.NumPages(f) != 2 {
+		t.Fatalf("NumPages = %d, want 2", d.NumPages(f))
+	}
+	if d.Stats().Allocs != 2 {
+		t.Fatalf("Allocs = %d, want 2", d.Stats().Allocs)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := New()
+	f := d.CreateFile("x")
+	p := d.Allocate(f)
+	var out, in Page
+	for i := range out {
+		out[i] = byte(i * 7)
+	}
+	if err := d.Write(f, p, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(f, p, &in); err != nil {
+		t.Fatal(err)
+	}
+	if in != out {
+		t.Fatal("page contents did not round-trip")
+	}
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v, want 1 read 1 write", st)
+	}
+}
+
+func TestWriteDoesNotAliasCallerPage(t *testing.T) {
+	d := New()
+	f := d.CreateFile("x")
+	p := d.Allocate(f)
+	var buf Page
+	buf[0] = 1
+	if err := d.Write(f, p, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // mutate caller's copy after the write
+	var in Page
+	if err := d.Read(f, p, &in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 1 {
+		t.Fatalf("disk page aliased caller buffer: got %d, want 1", in[0])
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	d := New()
+	f := d.CreateFile("x")
+	var buf Page
+	if err := d.Read(f, 0, &buf); err == nil {
+		t.Fatal("Read of unallocated page succeeded")
+	}
+	if err := d.Write(f, 5, &buf); err == nil {
+		t.Fatal("Write of unallocated page succeeded")
+	}
+	if err := d.Read(FileID(9), 0, &buf); err == nil {
+		t.Fatal("Read of nonexistent file succeeded")
+	}
+	if err := d.Read(f, InvalidPage, &buf); err == nil {
+		t.Fatal("Read of InvalidPage succeeded")
+	}
+}
+
+func TestStatsSubAndReset(t *testing.T) {
+	d := New()
+	f := d.CreateFile("x")
+	p := d.Allocate(f)
+	var buf Page
+	before := d.Stats()
+	_ = d.Write(f, p, &buf)
+	_ = d.Read(f, p, &buf)
+	delta := d.Stats().Sub(before)
+	if delta.Reads != 1 || delta.Writes != 1 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	if delta.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", delta.Total())
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Fatalf("after reset stats = %+v", d.Stats())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	d := New()
+	f := d.CreateFile("tmp")
+	d.Allocate(f)
+	d.Allocate(f)
+	d.Truncate(f)
+	if d.NumPages(f) != 0 {
+		t.Fatalf("NumPages after truncate = %d", d.NumPages(f))
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	d := New()
+	f := d.CreateFile("x")
+	p := d.Allocate(f)
+	var buf Page
+	d.FailAfter(2)
+	if err := d.Write(f, p, &buf); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if err := d.Read(f, p, &buf); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if err := d.Read(f, p, &buf); !errors.Is(err, ErrIOInjected) {
+		t.Fatalf("op 3 err = %v, want ErrIOInjected", err)
+	}
+	d.FailAfter(-1)
+	if err := d.Read(f, p, &buf); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+// TestRoundTripProperty checks that arbitrary page contents survive a
+// write/read cycle at arbitrary allocated offsets.
+func TestRoundTripProperty(t *testing.T) {
+	d := New()
+	f := d.CreateFile("prop")
+	for i := 0; i < 16; i++ {
+		d.Allocate(f)
+	}
+	prop := func(raw []byte, pg uint8) bool {
+		p := PageID(int(pg) % 16)
+		var out Page
+		copy(out[:], raw)
+		if err := d.Write(f, p, &out); err != nil {
+			return false
+		}
+		var in Page
+		if err := d.Read(f, p, &in); err != nil {
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

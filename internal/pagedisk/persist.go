@@ -1,0 +1,148 @@
+package pagedisk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot persistence: the simulated disk can be written to and restored
+// from a directory of page files, so a database built once (graph loading
+// plus index construction) can be reopened later without repeating the
+// work. Each simulated file becomes one operating-system file:
+//
+//	<dir>/file<NNNN>.pg :=  magic | name length | name | page count | pages
+//
+// Persistence is a snapshot operation, not a write-through page store: the
+// study's cost model counts simulated page I/O, and that accounting stays
+// exact whether the disk was freshly built or restored.
+
+const snapshotMagic = "TCPG"
+
+func snapshotPath(dir string, f FileID) string {
+	return filepath.Join(dir, fmt.Sprintf("file%04d.pg", f))
+}
+
+// Save writes every file of the disk into dir, creating it if needed.
+// Existing snapshot files in dir are overwritten. The disk is quiesced
+// (its mutex held) for the duration, so snapshots are consistent even if
+// other goroutines are querying.
+func (d *Disk) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id := range d.files {
+		if err := d.saveFile(dir, FileID(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Disk) saveFile(dir string, id FileID) error {
+	fl := &d.files[id]
+	f, err := os.Create(snapshotPath(dir, id))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(fl.name)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(fl.name); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(fl.pages)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	for _, pg := range fl.pages {
+		if _, err := w.Write(pg[:]); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Load restores a disk previously written by Save. Files are restored in
+// their original FileID order, so IDs recorded elsewhere remain valid.
+func Load(dir string) (*Disk, error) {
+	d := New()
+	for id := 0; ; id++ {
+		path := snapshotPath(dir, FileID(id))
+		if _, err := os.Stat(path); err != nil {
+			if os.IsNotExist(err) {
+				break
+			}
+			return nil, err
+		}
+		if err := d.loadFile(path); err != nil {
+			return nil, fmt.Errorf("pagedisk: loading %s: %w", path, err)
+		}
+	}
+	if len(d.files) == 0 {
+		return nil, fmt.Errorf("pagedisk: no snapshot files in %s", dir)
+	}
+	return d, nil
+}
+
+func (d *Disk) loadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return err
+	}
+	if string(magic) != snapshotMagic {
+		return fmt.Errorf("bad magic %q", magic)
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return err
+	}
+	nameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if nameLen > 1<<16 {
+		return fmt.Errorf("implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return err
+	}
+	nPages := binary.LittleEndian.Uint32(lenBuf[:])
+	d.mu.Lock()
+	d.files = append(d.files, file{name: string(name)})
+	id := len(d.files) - 1
+	for p := uint32(0); p < nPages; p++ {
+		pg := new(Page)
+		if _, err := io.ReadFull(r, pg[:]); err != nil {
+			d.mu.Unlock()
+			return fmt.Errorf("page %d: %w", p, err)
+		}
+		d.files[id].pages = append(d.files[id].pages, pg)
+	}
+	// Loading is catalog reconstruction, not simulated I/O.
+	d.stats = Stats{}
+	d.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,130 @@
+package pagedisk
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := New()
+	a := d.CreateFile("alpha")
+	b := d.CreateFile("beta")
+	for i := 0; i < 3; i++ {
+		p := d.Allocate(a)
+		var pg Page
+		pg[0] = byte(i + 1)
+		pg[PageSize-1] = byte(0xF0 + i)
+		if err := d.Write(a, p, &pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Allocate(b) // empty page in second file
+
+	dir := t.TempDir()
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumFiles() != 2 {
+		t.Fatalf("restored %d files", re.NumFiles())
+	}
+	if re.FileName(0) != "alpha" || re.FileName(1) != "beta" {
+		t.Fatalf("names = %q, %q", re.FileName(0), re.FileName(1))
+	}
+	if re.NumPages(0) != 3 || re.NumPages(1) != 1 {
+		t.Fatalf("pages = %d, %d", re.NumPages(0), re.NumPages(1))
+	}
+	for i := 0; i < 3; i++ {
+		var pg Page
+		if err := re.Read(0, PageID(i), &pg); err != nil {
+			t.Fatal(err)
+		}
+		if pg[0] != byte(i+1) || pg[PageSize-1] != byte(0xF0+i) {
+			t.Fatalf("page %d contents corrupted", i)
+		}
+	}
+}
+
+func TestLoadResetsStats(t *testing.T) {
+	d := New()
+	f := d.CreateFile("x")
+	p := d.Allocate(f)
+	var pg Page
+	_ = d.Write(f, p, &pg)
+	dir := t.TempDir()
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Stats() != (Stats{}) {
+		t.Fatalf("restored disk has stats %+v", re.Stats())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("loaded an empty directory")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "file0000.pg"), []byte("NOPE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("loaded a corrupt snapshot")
+	}
+	// Truncated page data.
+	d := New()
+	f := d.CreateFile("x")
+	d.Allocate(f)
+	dir2 := t.TempDir()
+	if err := d.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir2, "file0000.pg")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("loaded a truncated snapshot")
+	}
+}
+
+func TestSaveOverwritesExistingSnapshot(t *testing.T) {
+	d := New()
+	f := d.CreateFile("x")
+	p := d.Allocate(f)
+	var pg Page
+	pg[0] = 1
+	_ = d.Write(f, p, &pg)
+	dir := t.TempDir()
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	pg[0] = 2
+	_ = d.Write(f, p, &pg)
+	if err := d.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Page
+	if err := re.Read(0, 0, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("second save not visible: got %d", got[0])
+	}
+}

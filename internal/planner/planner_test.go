@@ -1,0 +1,201 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tcstudy/internal/core"
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+)
+
+func study(t *testing.T, n, f, l int) (*graph.Graph, *core.Database, Profile) {
+	t.Helper()
+	arcs, err := graphgen.Generate(graphgen.Params{Nodes: n, OutDegree: f, Locality: l, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(n, arcs)
+	p, err := BuildProfile(g, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, core.NewDatabase(n, arcs), p
+}
+
+func TestBuildProfile(t *testing.T) {
+	g, _, p := study(t, 500, 4, 60)
+	if p.N != 500 || p.Arcs != g.NumArcs() {
+		t.Fatalf("profile counts wrong: %+v", p)
+	}
+	if p.H <= 0 || p.W <= 0 || p.AvgDegree <= 0 {
+		t.Fatalf("profile shape wrong: %+v", p)
+	}
+	if p.Reach <= 0 || p.Reach > float64(p.N) {
+		t.Fatalf("reach estimate %v out of range", p.Reach)
+	}
+}
+
+func TestEstimatesCoverCandidates(t *testing.T) {
+	_, _, p := study(t, 300, 3, 50)
+	full := Estimates(p, 0, 10)
+	sel := Estimates(p, 5, 10)
+	if len(sel) != len(full)+1 {
+		t.Fatalf("selection estimates %d, full %d (SRCH applies only to selections)",
+			len(sel), len(full))
+	}
+	for i := 1; i < len(sel); i++ {
+		if sel[i].IO < sel[i-1].IO {
+			t.Fatal("estimates not sorted ascending")
+		}
+	}
+	for _, e := range sel {
+		if e.IO <= 0 || e.Why == "" {
+			t.Fatalf("degenerate estimate %+v", e)
+		}
+	}
+}
+
+// TestPlannerRankingMatchesMeasurement: on clear-cut study scenarios, the
+// planner's choice must be (near-)optimal against real measured I/O. This
+// is the validation the whole package exists for.
+func TestPlannerRankingMatchesMeasurement(t *testing.T) {
+	scenarios := []struct {
+		name    string
+		n, f, l int
+		sources int
+	}{
+		{"narrow-selective", 1000, 5, 10, 3},  // G4-like: SRCH/JKB2 country
+		{"narrow-moderate", 1000, 5, 10, 25},  // JKB2 should still win
+		{"wide-selective", 1000, 20, 1000, 3}, // shallow wide: SRCH wins
+		{"full-closure", 800, 5, 100, 0},      // BTC country
+	}
+	candidates := func(sel bool) []core.Algorithm {
+		algs := []core.Algorithm{core.BTC, core.BJ, core.SPN, core.JKB2, core.SEMI, core.WARREN}
+		if sel {
+			algs = append(algs, core.SRCH)
+		}
+		return algs
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			_, db, p := study(t, sc.n, sc.f, sc.l)
+			var q core.Query
+			if sc.sources > 0 {
+				q.Sources = graphgen.SourceSet(sc.n, sc.sources, 3)
+			}
+			measured := map[core.Algorithm]int64{}
+			best := core.Algorithm("")
+			var bestIO int64 = 1 << 62
+			for _, alg := range candidates(sc.sources > 0) {
+				res, err := core.Run(db, alg, q, core.Config{BufferPages: 10})
+				if err != nil {
+					t.Fatal(err)
+				}
+				measured[alg] = res.Metrics.TotalIO()
+				if measured[alg] < bestIO {
+					bestIO, best = measured[alg], alg
+				}
+			}
+			choice := Choose(p, sc.sources, 10)
+			got := measured[choice.Alg]
+			if got > 3*bestIO && got-bestIO > 300 {
+				var detail string
+				for alg, io := range measured {
+					detail += fmt.Sprintf(" %s=%d", alg, io)
+				}
+				t.Fatalf("planner chose %s (measured %d), best is %s (%d);%s",
+					choice.Alg, got, best, bestIO, detail)
+			}
+		})
+	}
+}
+
+// TestPlannerSelectivityCrossover: as s grows the planner must migrate
+// away from SRCH, mirroring Figure 8.
+func TestPlannerSelectivityCrossover(t *testing.T) {
+	_, _, p := study(t, 1000, 5, 100)
+	small := Choose(p, 2, 10)
+	if small.Alg != core.SRCH {
+		t.Fatalf("s=2 choice = %s, want srch", small.Alg)
+	}
+	large := Choose(p, 800, 10)
+	if large.Alg == core.SRCH {
+		t.Fatal("s=800 still chooses srch")
+	}
+}
+
+// TestPlannerWidthEffect: widening the graph must worsen JKB2's estimate
+// relative to BTC (Table 4's conclusion, encoded in the model).
+func TestPlannerWidthEffect(t *testing.T) {
+	narrow := Profile{N: 2000, Arcs: 9000, H: 280, W: 32, AvgDegree: 4.5, Reach: 800}
+	wide := Profile{N: 2000, Arcs: 90000, H: 200, W: 450, AvgDegree: 45, Reach: 800}
+	ratio := func(p Profile) float64 {
+		var jkb2, btc float64
+		for _, e := range Estimates(p, 10, 10) {
+			switch e.Alg {
+			case core.JKB2:
+				jkb2 = e.IO
+			case core.BTC:
+				btc = e.IO
+			}
+		}
+		return jkb2 / btc
+	}
+	if ratio(wide) <= ratio(narrow) {
+		t.Fatalf("width did not penalize JKB2: narrow %v, wide %v",
+			ratio(narrow), ratio(wide))
+	}
+}
+
+// TestWarrenEstimateSelectivityBlind: Warren's estimate must not improve
+// with selectivity.
+func TestWarrenEstimateSelectivityBlind(t *testing.T) {
+	_, _, p := study(t, 600, 4, 80)
+	warrenIO := func(s int) float64 {
+		for _, e := range Estimates(p, s, 10) {
+			if e.Alg == core.WARREN {
+				return e.IO
+			}
+		}
+		t.Fatal("warren missing")
+		return 0
+	}
+	if warrenIO(2) != warrenIO(300) {
+		t.Fatal("Warren estimate depends on selectivity")
+	}
+}
+
+// TestEstimateWhyMentionsDominantTerm: the Why strings carry the model's
+// dominant quantity, so tcquery -plan output is self-explanatory.
+func TestEstimateWhyMentionsDominantTerm(t *testing.T) {
+	_, _, p := study(t, 300, 3, 50)
+	for _, e := range Estimates(p, 5, 10) {
+		switch e.Alg {
+		case core.SRCH:
+			if !strings.Contains(e.Why, "source") {
+				t.Errorf("srch why = %q", e.Why)
+			}
+		case core.WARREN:
+			if !strings.Contains(e.Why, "matrix") {
+				t.Errorf("warren why = %q", e.Why)
+			}
+		case core.SEMI:
+			if !strings.Contains(e.Why, "iteration") {
+				t.Errorf("seminaive why = %q", e.Why)
+			}
+		}
+	}
+}
+
+// TestChooseEqualsFirstEstimate: Choose is the argmin of Estimates.
+func TestChooseEqualsFirstEstimate(t *testing.T) {
+	_, _, p := study(t, 300, 3, 50)
+	for _, s := range []int{0, 3, 100} {
+		ests := Estimates(p, s, 10)
+		if got := Choose(p, s, 10); got.Alg != ests[0].Alg {
+			t.Fatalf("Choose(%d) = %s, Estimates[0] = %s", s, got.Alg, ests[0].Alg)
+		}
+	}
+}

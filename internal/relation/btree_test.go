@@ -1,0 +1,134 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBTreeProbeMatchesSparseIndex(t *testing.T) {
+	d := newDiskPool(t)
+	rng := rand.New(rand.NewSource(21))
+	var ts []Tuple
+	for i := 0; i < 20000; i++ {
+		ts = append(ts, Tuple{Key: int32(rng.Intn(3000) + 1), Val: int32(rng.Intn(3000) + 1)})
+	}
+	r := Build(d.disk, "rel", ts)
+	bt, err := BuildBTree(d.disk, "rel-index", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Levels() < 1 {
+		t.Fatalf("tree has %d levels for %d pages", bt.Levels(), r.NumPages())
+	}
+	for key := int32(0); key <= 3001; key++ {
+		var a, b []int32
+		if _, err := r.Probe(d.pool, key, func(v int32) bool { a = append(a, v); return true }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ProbeIndexed(d.pool, bt, key, func(v int32) bool { b = append(b, v); return true }); err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("key %d: sparse %d values, btree %d", key, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("key %d: value %d differs", key, i)
+			}
+		}
+	}
+}
+
+func TestBTreeChargesInteriorIO(t *testing.T) {
+	d := newDiskPool(t)
+	var ts []Tuple
+	for i := int32(1); i <= 2000; i++ {
+		ts = append(ts, Tuple{Key: i, Val: i + 1}, Tuple{Key: i, Val: i + 2})
+	}
+	r := Build(d.disk, "rel", ts)
+	bt, err := BuildBTree(d.disk, "idx", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.disk.ResetStats()
+	d.pool.ResetStats()
+	if _, err := r.ProbeIndexed(d.pool, bt, 1500, func(int32) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	// Interior descent + leaf: at least levels+1 reads on a cold pool.
+	if got := d.pool.Stats().Reads; got < int64(bt.Levels())+1 {
+		t.Fatalf("cold indexed probe read %d pages, want >= %d", got, bt.Levels()+1)
+	}
+	// A second probe hits the cached interior pages.
+	before := d.pool.Stats().Reads
+	if _, err := r.ProbeIndexed(d.pool, bt, 1501, func(int32) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	extra := d.pool.Stats().Reads - before
+	if extra > 1 {
+		t.Fatalf("warm indexed probe read %d new pages, want <= 1", extra)
+	}
+}
+
+func TestBTreeMultiLevel(t *testing.T) {
+	// Force >255 leaf pages so the tree needs two interior levels:
+	// 256 tuples per page, so 300*255 distinct keys with one tuple each
+	// gives ~300 pages... use 80000 single-tuple keys -> 313 pages.
+	d := newDiskPool(t)
+	var ts []Tuple
+	for i := int32(1); i <= 80000; i++ {
+		ts = append(ts, Tuple{Key: i, Val: i})
+	}
+	r := Build(d.disk, "rel", ts)
+	if r.NumPages() <= btreeFanout {
+		t.Skipf("only %d leaf pages; need > %d", r.NumPages(), btreeFanout)
+	}
+	bt, err := BuildBTree(d.disk, "idx", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Levels() != 2 {
+		t.Fatalf("levels = %d, want 2", bt.Levels())
+	}
+	for _, key := range []int32{1, 255, 256, 40000, 79999, 80000} {
+		n, err := r.ProbeIndexed(d.pool, bt, key, func(v int32) bool {
+			if v != key {
+				t.Fatalf("key %d returned value %d", key, v)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("key %d matched %d tuples", key, n)
+		}
+	}
+	if n, _ := r.ProbeIndexed(d.pool, bt, 80001, func(int32) bool { return true }); n != 0 {
+		t.Fatalf("missing key matched %d tuples", n)
+	}
+}
+
+func TestBTreeEmptyAndTinyRelations(t *testing.T) {
+	d := newDiskPool(t)
+	empty := Build(d.disk, "e", nil)
+	bt, err := BuildBTree(d.disk, "ei", empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := empty.ProbeIndexed(d.pool, bt, 5, func(int32) bool { return true }); n != 0 {
+		t.Fatal("empty relation matched")
+	}
+	one := Build(d.disk, "o", []Tuple{{Key: 3, Val: 4}})
+	bt1, err := BuildBTree(d.disk, "oi", one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt1.Levels() != 0 {
+		t.Fatalf("single-page relation has %d levels", bt1.Levels())
+	}
+	n, _ := one.ProbeIndexed(d.pool, bt1, 3, func(v int32) bool { return v == 4 })
+	if n != 1 {
+		t.Fatalf("single-page probe matched %d", n)
+	}
+}

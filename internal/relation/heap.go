@@ -1,0 +1,173 @@
+package relation
+
+import (
+	"encoding/binary"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/pagedisk"
+)
+
+// Heap is an appendable, scannable temporary tuple file: the working
+// storage of the iterative (Seminaive) baseline algorithm, which
+// materializes delta and result relations between iterations. Appends fill
+// pages sequentially through the buffer pool; scans read them back in
+// order. Unlike Relation, a Heap is unclustered and unindexed.
+//
+// Page layout: a 4-byte tuple count followed by 8-byte (Key, Val) pairs —
+// 255 tuples per 2048-byte page.
+type Heap struct {
+	pool    *buffer.Pool
+	file    pagedisk.FileID
+	last    pagedisk.PageID // page currently being filled
+	lastN   int             // tuples on the last page
+	nTuples int64
+}
+
+// HeapTuplesPerPage is the capacity of one heap page.
+const HeapTuplesPerPage = (pagedisk.PageSize - 4) / 8
+
+// NewHeap creates an empty heap in a fresh file.
+func NewHeap(pool *buffer.Pool, name string) *Heap {
+	return &Heap{
+		pool: pool,
+		file: pool.Disk().CreateFile(name),
+		last: pagedisk.InvalidPage,
+	}
+}
+
+// Len reports the number of stored tuples.
+func (h *Heap) Len() int64 { return h.nTuples }
+
+// File returns the backing disk file.
+func (h *Heap) File() pagedisk.FileID { return h.file }
+
+// Append adds one tuple at the end of the heap.
+func (h *Heap) Append(t Tuple) error {
+	if h.last == pagedisk.InvalidPage || h.lastN == HeapTuplesPerPage {
+		pid, hd, err := h.pool.GetNew(h.file)
+		if err != nil {
+			return err
+		}
+		h.pool.Unpin(&hd, true)
+		h.last = pid
+		h.lastN = 0
+	}
+	hd, err := h.pool.Get(h.file, h.last)
+	if err != nil {
+		return err
+	}
+	pg := hd.Data()
+	off := 4 + h.lastN*8
+	binary.LittleEndian.PutUint32(pg[off:], uint32(t.Key))
+	binary.LittleEndian.PutUint32(pg[off+4:], uint32(t.Val))
+	h.lastN++
+	binary.LittleEndian.PutUint32(pg[0:], uint32(h.lastN))
+	h.pool.Unpin(&hd, true)
+	h.nTuples++
+	return nil
+}
+
+// Scan reads every tuple in append order, stopping early if fn returns
+// false.
+func (h *Heap) Scan(fn func(Tuple) bool) error {
+	n := h.pool.Disk().NumPages(h.file)
+	for p := 0; p < n; p++ {
+		hd, err := h.pool.Get(h.file, pagedisk.PageID(p))
+		if err != nil {
+			return err
+		}
+		pg := hd.Data()
+		cnt := int(binary.LittleEndian.Uint32(pg[0:]))
+		stop := false
+		for i := 0; i < cnt; i++ {
+			off := 4 + i*8
+			t := Tuple{
+				Key: int32(binary.LittleEndian.Uint32(pg[off:])),
+				Val: int32(binary.LittleEndian.Uint32(pg[off+4:])),
+			}
+			if !fn(t) {
+				stop = true
+				break
+			}
+		}
+		h.pool.Unpin(&hd, false)
+		if stop {
+			break
+		}
+	}
+	return nil
+}
+
+// Cursor is a sequential reader over a heap that holds one page pinned
+// between Next calls — the building block of external merge sort, where
+// many heaps are read in lockstep.
+type Cursor struct {
+	h      *Heap
+	page   int
+	idx    int
+	cnt    int
+	hd     buffer.Handle
+	pinned bool
+	err    error
+}
+
+// Cursor returns a cursor positioned before the first tuple.
+func (h *Heap) Cursor() *Cursor { return &Cursor{h: h, page: -1} }
+
+// Next returns the next tuple; ok is false at the end or on error (Err).
+func (c *Cursor) Next() (Tuple, bool) {
+	for {
+		if c.err != nil {
+			return Tuple{}, false
+		}
+		if c.pinned && c.idx < c.cnt {
+			pg := c.hd.Data()
+			off := 4 + c.idx*8
+			c.idx++
+			return Tuple{
+				Key: int32(binary.LittleEndian.Uint32(pg[off:])),
+				Val: int32(binary.LittleEndian.Uint32(pg[off+4:])),
+			}, true
+		}
+		c.release()
+		c.page++
+		if c.page >= c.h.pool.Disk().NumPages(c.h.file) {
+			return Tuple{}, false
+		}
+		hd, err := c.h.pool.Get(c.h.file, pagedisk.PageID(c.page))
+		if err != nil {
+			c.err = err
+			return Tuple{}, false
+		}
+		c.hd = hd
+		c.pinned = true
+		c.cnt = int(binary.LittleEndian.Uint32(hd.Data()[0:]))
+		c.idx = 0
+	}
+}
+
+// Err reports the first error the cursor hit.
+func (c *Cursor) Err() error { return c.err }
+
+func (c *Cursor) release() {
+	if c.pinned {
+		c.h.pool.Unpin(&c.hd, false)
+		c.pinned = false
+	}
+}
+
+// Close releases any pinned page. Safe to call repeatedly.
+func (c *Cursor) Close() { c.release() }
+
+// Flush writes the heap's dirty pages out.
+func (h *Heap) Flush() error { return h.pool.FlushFile(h.file) }
+
+// Discard drops the heap's buffered pages without writing and empties the
+// file, releasing the temporary storage.
+func (h *Heap) Discard() {
+	h.pool.DiscardFile(h.file)
+	h.pool.Disk().Truncate(h.file)
+	h.last = pagedisk.InvalidPage
+	h.lastN = 0
+	h.nTuples = 0
+}

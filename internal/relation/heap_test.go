@@ -1,0 +1,214 @@
+package relation
+
+import (
+	"errors"
+	"testing"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/pagedisk"
+)
+
+func heapPool(t *testing.T, frames int) *buffer.Pool {
+	t.Helper()
+	d := pagedisk.New()
+	pol, err := buffer.NewPolicy("lru", frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buffer.New(d, frames, pol)
+}
+
+func TestHeapAppendScanRoundTrip(t *testing.T) {
+	p := heapPool(t, 4)
+	h := NewHeap(p, "h")
+	var want []Tuple
+	for i := int32(0); i < 1000; i++ {
+		tu := Tuple{Key: i, Val: i * 2}
+		want = append(want, tu)
+		if err := h.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 1000 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	var got []Tuple
+	if err := h.Scan(func(tu Tuple) bool { got = append(got, tu); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d tuples", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tuple %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeapPageCapacity(t *testing.T) {
+	if HeapTuplesPerPage != 255 {
+		t.Fatalf("HeapTuplesPerPage = %d, want 255 (4-byte header + 8-byte tuples)", HeapTuplesPerPage)
+	}
+	p := heapPool(t, 4)
+	h := NewHeap(p, "h")
+	for i := 0; i < 255; i++ {
+		if err := h.Append(Tuple{Key: 1, Val: int32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := p.Disk().NumPages(h.File()); n != 1 {
+		t.Fatalf("255 tuples occupy %d pages", n)
+	}
+	if err := h.Append(Tuple{Key: 2, Val: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.Disk().NumPages(h.File()); n != 2 {
+		t.Fatalf("256 tuples occupy %d pages", n)
+	}
+}
+
+func TestHeapCursor(t *testing.T) {
+	p := heapPool(t, 4)
+	h := NewHeap(p, "h")
+	for i := int32(0); i < 600; i++ {
+		if err := h.Append(Tuple{Key: i, Val: -0 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := h.Cursor()
+	n := int32(0)
+	for {
+		tu, ok := c.Next()
+		if !ok {
+			break
+		}
+		if tu.Key != n {
+			t.Fatalf("cursor tuple %d has key %d", n, tu.Key)
+		}
+		n++
+	}
+	c.Close()
+	if n != 600 {
+		t.Fatalf("cursor visited %d tuples", n)
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if p.PinnedFrames() != 0 {
+		t.Fatal("cursor leaked pins")
+	}
+}
+
+func TestHeapCursorHoldsOnePin(t *testing.T) {
+	p := heapPool(t, 4)
+	h := NewHeap(p, "h")
+	for i := int32(0); i < 600; i++ {
+		if err := h.Append(Tuple{Key: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := h.Cursor()
+	c.Next()
+	if got := p.PinnedFrames(); got != 1 {
+		t.Fatalf("pinned = %d, want 1", got)
+	}
+	// Cross a page boundary: still exactly one pin.
+	for i := 0; i < 300; i++ {
+		c.Next()
+	}
+	if got := p.PinnedFrames(); got != 1 {
+		t.Fatalf("pinned after page crossing = %d, want 1", got)
+	}
+	c.Close()
+	if got := p.PinnedFrames(); got != 0 {
+		t.Fatalf("pinned after close = %d", got)
+	}
+}
+
+func TestHeapDiscardAndReuse(t *testing.T) {
+	p := heapPool(t, 4)
+	h := NewHeap(p, "h")
+	for i := int32(0); i < 300; i++ {
+		if err := h.Append(Tuple{Key: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Discard()
+	if h.Len() != 0 {
+		t.Fatalf("Len after discard = %d", h.Len())
+	}
+	if n := p.Disk().NumPages(h.File()); n != 0 {
+		t.Fatalf("pages after discard = %d", n)
+	}
+	// The heap is reusable after Discard.
+	if err := h.Append(Tuple{Key: 7, Val: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Tuple
+	if err := h.Scan(func(tu Tuple) bool { got = append(got, tu); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (Tuple{Key: 7, Val: 8}) {
+		t.Fatalf("reused heap scan = %v", got)
+	}
+}
+
+func TestHeapFlushPersists(t *testing.T) {
+	p := heapPool(t, 4)
+	h := NewHeap(p, "h")
+	if err := h.Append(Tuple{Key: 1, Val: 2}); err != nil {
+		t.Fatal(err)
+	}
+	p.Disk().ResetStats()
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Disk().Stats().Writes != 1 {
+		t.Fatalf("flush wrote %d pages", p.Disk().Stats().Writes)
+	}
+}
+
+func TestHeapScanEarlyStop(t *testing.T) {
+	p := heapPool(t, 4)
+	h := NewHeap(p, "h")
+	for i := int32(0); i < 600; i++ {
+		if err := h.Append(Tuple{Key: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	if err := h.Scan(func(Tuple) bool { n++; return n < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if p.PinnedFrames() != 0 {
+		t.Fatal("scan leaked pins")
+	}
+}
+
+func TestHeapIOErrorPropagates(t *testing.T) {
+	p := heapPool(t, 1)
+	h := NewHeap(p, "h")
+	for i := int32(0); i < 600; i++ {
+		if err := h.Append(Tuple{Key: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Disk().FailAfter(0)
+	defer p.Disk().FailAfter(-1)
+	err := h.Scan(func(Tuple) bool { return true })
+	if !errors.Is(err, pagedisk.ErrIOInjected) {
+		t.Fatalf("scan err = %v", err)
+	}
+	c := h.Cursor()
+	if _, ok := c.Next(); ok {
+		t.Fatal("cursor returned tuple under injected failure")
+	}
+	if !errors.Is(c.Err(), pagedisk.ErrIOInjected) {
+		t.Fatalf("cursor err = %v", c.Err())
+	}
+	c.Close()
+}

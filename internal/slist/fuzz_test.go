@@ -1,0 +1,76 @@
+package slist
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/pagedisk"
+)
+
+// FuzzStoreOps drives the store with an operation tape decoded from fuzz
+// input: appends, clears and reads over a handful of lists with a tiny
+// pool, checking contents against an in-memory reference after every read.
+func FuzzStoreOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 1, 1, 1})
+	seed := make([]byte, 300)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		const nLists = 8
+		d := pagedisk.New()
+		pol, _ := buffer.NewPolicy("lru", 4)
+		pool := buffer.New(d, 4, pol)
+		lp, _ := NewListPolicy("smallest")
+		s := NewStore(pool, "fuzz", nLists, lp)
+		ref := make([][]int32, nLists)
+
+		for i := 0; i+1 < len(tape); i += 2 {
+			op := tape[i] % 3
+			id := int32(tape[i+1] % nLists)
+			switch op {
+			case 0: // append a value derived from the tape position
+				v := int32(binary.LittleEndian.Uint16(append([]byte{tape[i+1]}, byte(i))))
+				if err := s.Append(id, v); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+				ref[id] = append(ref[id], v)
+			case 1: // clear
+				if err := s.Clear(id); err != nil {
+					t.Fatalf("clear: %v", err)
+				}
+				ref[id] = nil
+			case 2: // verify
+				got, err := s.ReadAll(id)
+				if err != nil {
+					t.Fatalf("read: %v", err)
+				}
+				if len(got) != len(ref[id]) {
+					t.Fatalf("list %d has %d entries, want %d", id, len(got), len(ref[id]))
+				}
+				for j := range got {
+					if got[j] != ref[id][j] {
+						t.Fatalf("list %d entry %d = %d, want %d", id, j, got[j], ref[id][j])
+					}
+				}
+			}
+		}
+		// Final full verification plus pin accounting.
+		for id := int32(0); id < nLists; id++ {
+			got, err := s.ReadAll(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(ref[id]) {
+				t.Fatalf("final list %d: %d entries, want %d", id, len(got), len(ref[id]))
+			}
+		}
+		if pool.PinnedFrames() != 0 {
+			t.Fatal("pins leaked")
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package slist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ListPolicy chooses which list to relocate when a page split is needed
+// (Section 5.1: "a list replacement policy is used when a successor list
+// expands to the point where at least one of the other lists on the page
+// must be moved to a new page"). Candidates are the other lists owning
+// blocks on the full page; length and lastUse expose directory metadata.
+type ListPolicy interface {
+	Name() string
+	Victim(cands []int32, length func(int32) int32, lastUse func(int32) int64) int32
+}
+
+// NewListPolicy constructs a list replacement policy by name.
+// Known names: "smallest", "largest", "lru", "random".
+func NewListPolicy(name string) (ListPolicy, error) {
+	switch name {
+	case "smallest":
+		return extremal{small: true}, nil
+	case "largest":
+		return extremal{small: false}, nil
+	case "lru":
+		return lruList{}, nil
+	case "random":
+		return &randomList{rng: rand.New(rand.NewSource(1))}, nil
+	}
+	return nil, fmt.Errorf("slist: unknown list replacement policy %q", name)
+}
+
+// ListPolicyNames lists the built-in list replacement policies.
+func ListPolicyNames() []string { return []string{"smallest", "largest", "lru", "random"} }
+
+// extremal relocates the shortest (cheapest to move) or the longest
+// (frees the most blocks) candidate. Ties break on the lower list ID so
+// runs are deterministic.
+type extremal struct{ small bool }
+
+func (e extremal) Name() string {
+	if e.small {
+		return "smallest"
+	}
+	return "largest"
+}
+
+func (e extremal) Victim(cands []int32, length func(int32) int32, _ func(int32) int64) int32 {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		lc, lb := length(c), length(best)
+		if e.small && (lc < lb || (lc == lb && c < best)) {
+			best = c
+		}
+		if !e.small && (lc > lb || (lc == lb && c < best)) {
+			best = c
+		}
+	}
+	return best
+}
+
+// lruList relocates the least recently used candidate.
+type lruList struct{}
+
+func (lruList) Name() string { return "lru" }
+
+func (lruList) Victim(cands []int32, _ func(int32) int32, lastUse func(int32) int64) int32 {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if lastUse(c) < lastUse(best) || (lastUse(c) == lastUse(best) && c < best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// randomList relocates a uniformly random candidate with a fixed seed.
+type randomList struct{ rng *rand.Rand }
+
+func (*randomList) Name() string { return "random" }
+
+func (r *randomList) Victim(cands []int32, _ func(int32) int32, _ func(int32) int64) int32 {
+	return cands[r.rng.Intn(len(cands))]
+}

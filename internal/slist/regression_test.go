@@ -1,0 +1,197 @@
+package slist
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/pagedisk"
+)
+
+// TestFlushListThenRelocationHazard is the regression test for a bug found
+// during development: flushing a list and then growing *another* list can
+// split a shared page and relocate the flushed list onto fresh, unflushed
+// pages. Callers must flush after the last append (as the engine does);
+// this test pins the storage-level behaviour the fix relies on: after a
+// relocation, FlushList written state must match the directory, not the
+// stale pages.
+func TestFlushListThenRelocationHazard(t *testing.T) {
+	s, d := newStore(t, 8, "smallest", 4)
+	// List 0 small, list 1 fills the rest of the page.
+	if err := s.AppendAll(0, []int32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]int32, 29*BlockEntries)
+	for i := range big {
+		big[i] = int32(100 + i)
+	}
+	if err := s.AppendAll(1, big); err != nil {
+		t.Fatal(err)
+	}
+	// Premature flush of list 0, then growth of list 1 splits the page
+	// and relocates list 0.
+	if err := s.FlushList(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendAll(1, []int32{9999, 9998}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().ListsMoved == 0 {
+		t.Fatal("test setup: no relocation happened")
+	}
+	// Flushing again (after the last append) and discarding the buffer
+	// must preserve list 0's contents on disk.
+	if err := s.FlushList(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushList(1); err != nil {
+		t.Fatal(err)
+	}
+	s.DiscardAll()
+	wantList(t, s, 0, []int32{1, 2, 3})
+	wantList(t, s, 1, append(big, 9999, 9998))
+	_ = d
+}
+
+// TestRelocatedListRemainsAppendable: growth continues cleanly after a
+// list was moved by a split.
+func TestRelocatedListRemainsAppendable(t *testing.T) {
+	s, _ := newStore(t, 8, "smallest", 4)
+	if err := s.AppendAll(0, []int32{1}); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]int32, 29*BlockEntries)
+	for i := range big {
+		big[i] = int32(i)
+	}
+	if err := s.AppendAll(1, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, -5); err != nil { // forces the split, moving list 0
+		t.Fatal(err)
+	}
+	if err := s.AppendAll(0, []int32{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	wantList(t, s, 0, []int32{1, 2, 3})
+}
+
+// TestOwnerFieldLimit documents the 16-bit block owner field: the store
+// rejects list IDs beyond 65535 loudly rather than corrupting state.
+func TestOwnerFieldLimit(t *testing.T) {
+	s, _ := newStore(t, 8, "smallest", 70000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized list ID did not panic")
+		}
+	}()
+	_ = s.Append(66000, 1)
+}
+
+// TestNegativeEntriesRoundTrip: the tree encodings store negated parent
+// markers; the engine relies on sign preservation.
+func TestNegativeEntriesRoundTrip(t *testing.T) {
+	s, _ := newStore(t, 8, "smallest", 2)
+	vals := []int32{-1, 5, -2147483647, 2147483647, -42}
+	if err := s.AppendAll(0, vals); err != nil {
+		t.Fatal(err)
+	}
+	wantList(t, s, 0, vals)
+}
+
+// TestManySmallListsAcrossSplits drives hundreds of interleaved lists with
+// a tiny pool under every list policy and confirms directory integrity.
+func TestManySmallListsAcrossSplits(t *testing.T) {
+	for _, pol := range ListPolicyNames() {
+		t.Run(pol, func(t *testing.T) {
+			s, _ := newStore(t, 4, pol, 300)
+			ref := make([][]int32, 300)
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 20000; i++ {
+				id := int32(rng.Intn(300))
+				v := rng.Int31()
+				if v < 0 {
+					v = -v
+				}
+				if err := s.Append(id, v); err != nil {
+					t.Fatal(err)
+				}
+				ref[id] = append(ref[id], v)
+			}
+			for id := int32(0); id < 300; id++ {
+				wantList(t, s, id, ref[id])
+			}
+			if s.Pool().PinnedFrames() != 0 {
+				t.Fatal("pins leaked")
+			}
+		})
+	}
+}
+
+// TestFlushListCountsChainWalkIO: locating the chain goes through the
+// buffer pool, so flushing a cold list is itself charged.
+func TestFlushListCountsChainWalkIO(t *testing.T) {
+	s, d := newStore(t, 4, "smallest", 2)
+	vals := make([]int32, 2000)
+	for i := range vals {
+		vals[i] = int32(i)
+	}
+	if err := s.AppendAll(0, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pool().FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	s.DiscardAll()
+	d.ResetStats()
+	if err := s.FlushList(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Reads == 0 {
+		t.Fatal("cold FlushList read no pages")
+	}
+	if d.Stats().Writes != 0 {
+		t.Fatal("clean list was rewritten")
+	}
+}
+
+// TestStoreFileIsolation: two stores on one pool never cross pages.
+func TestStoreFileIsolation(t *testing.T) {
+	d := pagedisk.New()
+	polPage, err := buffer.NewPolicy("lru", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.New(d, 6, polPage)
+	lp, _ := NewListPolicy("smallest")
+	a := NewStore(pool, "a", 4, lp)
+	b := NewStore(pool, "b", 4, lp)
+	for i := int32(0); i < 1000; i++ {
+		if err := a.Append(i%4, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Append(i%4, -i-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := int32(0); id < 4; id++ {
+		av, err := a.ReadAll(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range av {
+			if v < 0 {
+				t.Fatal("store a contains store b's values")
+			}
+		}
+		bv, err := b.ReadAll(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range bv {
+			if v >= 0 {
+				t.Fatal("store b contains store a's values")
+			}
+		}
+	}
+}

@@ -1,0 +1,550 @@
+package tcstudy
+
+import (
+	"sort"
+	"testing"
+)
+
+func sorted(vals []int32) []int32 {
+	out := append([]int32(nil), vals...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestQuickstartPath(t *testing.T) {
+	g, err := Generate(200, 4, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("generated graph not acyclic")
+	}
+	db := NewDB(g)
+	res, err := db.FullClosure(BTC, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TotalIO() <= 0 {
+		t.Fatal("no I/O measured")
+	}
+	var total int
+	for _, s := range res.Successors {
+		total += len(s)
+	}
+	st, err := g.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(total) != st.ClosureSize {
+		t.Fatalf("closure size %d != stats %d", total, st.ClosureSize)
+	}
+}
+
+func TestSuccessorsAcrossAlgorithms(t *testing.T) {
+	g, err := Generate(150, 3, 25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	sources := SourceSet(150, 4, 7)
+	var want map[int32][]int32
+	for _, alg := range Algorithms() {
+		res, err := db.Successors(alg, sources, Config{BufferPages: 8, ILIMIT: 0.2})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		got := map[int32][]int32{}
+		for k, v := range res.Successors {
+			vv := append([]int32(nil), v...)
+			sort.Slice(vv, func(i, j int) bool { return vv[i] < vv[j] })
+			got[k] = vv
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for k, w := range want {
+			gv := got[k]
+			if len(gv) != len(w) {
+				t.Fatalf("%s: node %d: %d successors, want %d", alg, k, len(gv), len(w))
+			}
+			for i := range w {
+				if gv[i] != w[i] {
+					t.Fatalf("%s: node %d differs", alg, k)
+				}
+			}
+		}
+	}
+}
+
+func TestRunRejectsCyclicGraph(t *testing.T) {
+	g := NewGraph(3, []Arc{{From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 1}})
+	if g.IsAcyclic() {
+		t.Fatal("cycle not detected")
+	}
+	db := NewDB(g)
+	if _, err := db.Run(BTC, Query{}, Config{BufferPages: 8}); err == nil {
+		t.Fatal("cyclic graph accepted by Run")
+	}
+}
+
+func TestClosureOfCyclic(t *testing.T) {
+	// 1 <-> 2 -> 3, 3 -> 4 <-> 5.
+	g := NewGraph(5, []Arc{
+		{From: 1, To: 2}, {From: 2, To: 1}, {From: 2, To: 3},
+		{From: 3, To: 4}, {From: 4, To: 5}, {From: 5, To: 4},
+	})
+	cc, err := ClosureOfCyclic(g, BTC, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Components != 3 {
+		t.Fatalf("components = %d, want 3", cc.Components)
+	}
+	want := map[int32][]int32{
+		1: {1, 2, 3, 4, 5},
+		2: {1, 2, 3, 4, 5},
+		3: {4, 5},
+		4: {4, 5},
+		5: {4, 5},
+	}
+	for v, w := range want {
+		got := append([]int32(nil), cc.Successors[v]...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(w) {
+			t.Fatalf("successors of %d = %v, want %v", v, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("successors of %d = %v, want %v", v, got, w)
+			}
+		}
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	narrow := GraphStats{W: 50}
+	wide := GraphStats{W: 500}
+	n := 2000
+	if got := Advise(narrow, n, 0); got != BTC {
+		t.Fatalf("full closure advice = %s, want btc", got)
+	}
+	if got := Advise(narrow, n, 2); got != SRCH {
+		t.Fatalf("2-source advice = %s, want srch", got)
+	}
+	if got := Advise(narrow, n, 50); got != JKB2 {
+		t.Fatalf("narrow 50-source advice = %s, want jkb2", got)
+	}
+	if got := Advise(wide, n, 50); got != BTC {
+		t.Fatalf("wide 50-source advice = %s, want btc", got)
+	}
+	if got := Advise(narrow, n, 1500); got != BTC {
+		t.Fatalf("low-selectivity advice = %s, want btc", got)
+	}
+}
+
+func TestAdviseAgreesWithMeasurement(t *testing.T) {
+	// On a narrow deep graph with moderate selectivity, the advisor picks
+	// JKB2 and JKB2 must indeed beat BTC on measured I/O (Table 4's
+	// narrow end).
+	g, err := Generate(1000, 5, 10, 3) // G4-like: narrow
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSources := 30
+	alg := Advise(st, g.N(), nSources)
+	if alg != JKB2 {
+		t.Skipf("advisor picked %s (W=%.0f); width threshold not hit on this instance", alg, st.W)
+	}
+	db := NewDB(g)
+	sources := SourceSet(g.N(), nSources, 5)
+	rj, err := db.Successors(JKB2, sources, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := db.Successors(BTC, sources, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rj.Metrics.TotalIO() >= rb.Metrics.TotalIO() {
+		t.Fatalf("advisor chose JKB2 but it cost %d vs BTC %d",
+			rj.Metrics.TotalIO(), rb.Metrics.TotalIO())
+	}
+}
+
+func TestPredecessors(t *testing.T) {
+	g := NewGraph(5, []Arc{
+		{From: 1, To: 3}, {From: 2, To: 3}, {From: 3, To: 4}, {From: 4, To: 5},
+	})
+	db := NewDB(g)
+	res, err := db.Predecessors(BTC, []int32{4}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sorted(res.Successors[4])
+	want := []int32{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("predecessors of 4 = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("predecessors of 4 = %v, want %v", got, want)
+		}
+	}
+	// The reversed database is cached and reused.
+	if db.reversed == nil {
+		t.Fatal("reversed DB not cached")
+	}
+	res2, err := db.Predecessors(SRCH, []int32{5}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Successors[5]) != 4 {
+		t.Fatalf("predecessors of 5 = %v", res2.Successors[5])
+	}
+}
+
+func TestPredecessorsAgreeWithSuccessors(t *testing.T) {
+	g, err := Generate(120, 3, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	full, err := db.FullClosure(BTC, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (u, v) in closure  <=>  u in predecessors(v).
+	target := int32(60)
+	pres, err := db.Predecessors(BTC, []int32{target}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	predSet := map[int32]bool{}
+	for _, p := range pres.Successors[target] {
+		predSet[p] = true
+	}
+	for u := int32(1); u <= int32(g.N()); u++ {
+		reaches := false
+		for _, v := range full.Successors[u] {
+			if v == target {
+				reaches = true
+				break
+			}
+		}
+		if reaches != predSet[u] {
+			t.Fatalf("disagreement at u=%d: forward says %v, backward says %v",
+				u, reaches, predSet[u])
+		}
+	}
+}
+
+func TestSuccessorsOfCyclic(t *testing.T) {
+	// 1 <-> 2 -> 3 -> 4 <-> 5, 6 isolated.
+	g := NewGraph(6, []Arc{
+		{From: 1, To: 2}, {From: 2, To: 1}, {From: 2, To: 3},
+		{From: 3, To: 4}, {From: 4, To: 5}, {From: 5, To: 4},
+	})
+	out, m, err := SuccessorsOfCyclic(g, []int32{1, 2, 6}, BTC, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalIO() <= 0 {
+		t.Fatal("no I/O recorded")
+	}
+	for _, s := range []int32{1, 2} {
+		got := sorted(out[s])
+		want := []int32{1, 2, 3, 4, 5}
+		if len(got) != len(want) {
+			t.Fatalf("reach(%d) = %v", s, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("reach(%d) = %v", s, got)
+			}
+		}
+	}
+	if len(out[6]) != 0 {
+		t.Fatalf("isolated node reaches %v", out[6])
+	}
+}
+
+func TestSuccessorsOfCyclicMatchesFull(t *testing.T) {
+	g := NewGraph(7, []Arc{
+		{From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 1},
+		{From: 3, To: 4}, {From: 4, To: 5}, {From: 5, To: 6}, {From: 6, To: 4},
+		{From: 6, To: 7},
+	})
+	full, err := ClosureOfCyclic(g, BTC, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _, err := SuccessorsOfCyclic(g, []int32{2, 5}, SRCH, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int32{2, 5} {
+		a := sorted(full.Successors[s])
+		b := sorted(part[s])
+		if len(a) != len(b) {
+			t.Fatalf("node %d: partial %v vs full %v", s, b, a)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d: partial %v vs full %v", s, b, a)
+			}
+		}
+	}
+}
+
+func TestDBSaveOpenRoundTrip(t *testing.T) {
+	g, err := Generate(120, 3, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	dir := t.TempDir()
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Graph().N() != g.N() || re.Graph().NumArcs() != g.NumArcs() {
+		t.Fatalf("restored graph %d/%d, want %d/%d",
+			re.Graph().N(), re.Graph().NumArcs(), g.N(), g.NumArcs())
+	}
+	a, err := db.FullClosure(BTC, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := re.FullClosure(BTC, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.TotalIO() != b.Metrics.TotalIO() {
+		t.Fatalf("I/O differs after reopen: %d vs %d",
+			a.Metrics.TotalIO(), b.Metrics.TotalIO())
+	}
+	for k, v := range a.Successors {
+		if len(b.Successors[k]) != len(v) {
+			t.Fatalf("successors of %d differ after reopen", k)
+		}
+	}
+	// Predecessors work on a restored DB (needs the reconstructed graph).
+	if _, err := re.Predecessors(BTC, []int32{50}, Config{BufferPages: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionFacade(t *testing.T) {
+	g, err := Generate(200, 4, 40, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	s, err := db.NewSession(Config{BufferPages: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s.Successors(SRCH, []int32{3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Successors(SRCH, []int32{3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Metrics.TotalIO() >= cold.Metrics.TotalIO() {
+		t.Fatalf("warm I/O %d not below cold %d",
+			warm.Metrics.TotalIO(), cold.Metrics.TotalIO())
+	}
+	if _, err := s.FullClosure(BTC); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMagicGraphStatsInMetrics(t *testing.T) {
+	g, err := Generate(300, 4, 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	res, err := db.FullClosure(BTC, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := g.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	// For a full closure the magic graph is the whole graph: the free
+	// rectangle model must match the analytic one.
+	if m.MagicNodes != int64(g.N()) || m.MagicArcs != int64(g.NumArcs()) {
+		t.Fatalf("magic graph %d/%d, want %d/%d", m.MagicNodes, m.MagicArcs, g.N(), g.NumArcs())
+	}
+	if diff := m.MagicH - st.H; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("MagicH %v != analytic H %v", m.MagicH, st.H)
+	}
+	if diff := m.MagicW - st.W; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("MagicW %v != analytic W %v", m.MagicW, st.W)
+	}
+	// A selection sees a smaller magic graph.
+	sel, err := db.Successors(BTC, []int32{250}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Metrics.MagicNodes >= m.MagicNodes {
+		t.Fatalf("selection magic graph %d nodes >= full graph %d",
+			sel.Metrics.MagicNodes, m.MagicNodes)
+	}
+	// SRCH skips restructuring: no magic stats.
+	srch, err := db.Successors(SRCH, []int32{250}, Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srch.Metrics.MagicNodes != 0 {
+		t.Fatalf("SRCH reported magic stats: %d", srch.Metrics.MagicNodes)
+	}
+}
+
+func TestWeightedDBFacade(t *testing.T) {
+	g := NewGraph(4, []Arc{
+		{From: 1, To: 2}, {From: 1, To: 3}, {From: 2, To: 4}, {From: 3, To: 4},
+	})
+	db, err := NewWeightedDB(g, func(a Arc) int32 { return a.From + a.To })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Weighted() {
+		t.Fatal("Weighted() = false")
+	}
+	res, err := db.Paths(MinWeight, []int32{1}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1->2->4 costs 3+6=9; 1->3->4 costs 4+7=11.
+	if res.Values[1][4] != 9 {
+		t.Fatalf("minweight(1,4) = %d, want 9", res.Values[1][4])
+	}
+	// Reachability still works on the weighted DB.
+	r2, err := db.FullClosure(BTC, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Successors[1]) != 3 {
+		t.Fatalf("successors of 1 = %v", r2.Successors[1])
+	}
+	// Unweighted DBs refuse weighted aggregates.
+	plain := NewDB(g)
+	if _, err := plain.Paths(MinWeight, nil, Config{BufferPages: 8}); err == nil {
+		t.Fatal("MinWeight accepted on unweighted DB")
+	}
+}
+
+func TestRunConcurrentFacade(t *testing.T) {
+	g, err := Generate(200, 4, 30, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	reqs := []Request{
+		{Alg: BTC, Query: Query{}, Cfg: Config{BufferPages: 8}},
+		{Alg: SRCH, Query: Query{Sources: []int32{5}}, Cfg: Config{BufferPages: 8}},
+		{Alg: JKB2, Query: Query{Sources: []int32{5, 9}}, Cfg: Config{BufferPages: 8}},
+	}
+	resps := db.RunConcurrent(reqs)
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	// SRCH and JKB2 agree on node 5's successors.
+	if len(resps[1].Result.Successors[5]) != len(resps[2].Result.Successors[5]) {
+		t.Fatal("concurrent algorithms disagree")
+	}
+	// A cyclic DB fails every request, cleanly.
+	cyc := NewDB(NewGraph(2, []Arc{{From: 1, To: 2}, {From: 2, To: 1}}))
+	for _, r := range cyc.RunConcurrent(reqs[:1]) {
+		if r.Err == nil {
+			t.Fatal("cyclic batch succeeded")
+		}
+	}
+}
+
+func TestPlanFacade(t *testing.T) {
+	g, err := Generate(500, 5, 10, 2) // narrow, deep
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	ests, err := db.Plan(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) < 6 {
+		t.Fatalf("only %d estimates", len(ests))
+	}
+	if ests[0].Alg != SRCH {
+		t.Fatalf("3-source plan chose %s, expected srch on a selective query", ests[0].Alg)
+	}
+	// The planner's choice must actually be competitive when measured.
+	res, err := db.Successors(ests[0].Alg, SourceSet(500, 3, 1), Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBTC, err := db.Successors(BTC, SourceSet(500, 3, 1), Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TotalIO() > resBTC.Metrics.TotalIO() {
+		t.Fatalf("planned algorithm cost %d, default BTC %d",
+			res.Metrics.TotalIO(), resBTC.Metrics.TotalIO())
+	}
+	// Cyclic DBs refuse planning.
+	cyc := NewDB(NewGraph(2, []Arc{{From: 1, To: 2}, {From: 2, To: 1}}))
+	if _, err := cyc.Plan(1, 10); err == nil {
+		t.Fatal("cyclic plan accepted")
+	}
+}
+
+func TestSchmitzFacadeOnCyclicGraph(t *testing.T) {
+	g := NewGraph(4, []Arc{
+		{From: 1, To: 2}, {From: 2, To: 1}, {From: 2, To: 3}, {From: 3, To: 4},
+	})
+	db := NewDB(g)
+	// Other algorithms refuse the cycle; SCHMITZ handles it.
+	if _, err := db.Run(BTC, Query{}, Config{BufferPages: 8}); err == nil {
+		t.Fatal("BTC accepted a cyclic graph")
+	}
+	res, err := db.Run(SCHMITZ, Query{}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sorted(res.Successors[1])
+	want := []int32{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("successors of 1 = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("successors of 1 = %v, want %v", got, want)
+		}
+	}
+	// And it agrees with the condensation pipeline.
+	cc, err := ClosureOfCyclic(g, BTC, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := int32(1); x <= 4; x++ {
+		if len(cc.Successors[x]) != len(res.Successors[x]) {
+			t.Fatalf("schmitz and condensation disagree at node %d", x)
+		}
+	}
+}
