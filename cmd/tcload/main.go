@@ -1,0 +1,267 @@
+// Command tcload drives a running tcserve instance with a configurable
+// open-loop query stream and reports throughput, latency percentiles and
+// the server's own cache statistics. The mix interleaves boolean reach
+// probes with partial-closure queries; the -sourcepool flag bounds how many
+// distinct query shapes circulate, which directly sets the attainable
+// cache hit rate.
+//
+// Example (against tcserve -n 2000):
+//
+//	tcload -addr http://localhost:8080 -duration 10s -qps 200 -reach 0.5
+//
+// Rejections (HTTP 429, admission control working as intended) are counted
+// separately from errors. The exit status is nonzero if any request failed
+// with a transport error or an unexpected HTTP status.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://localhost:8080", "tcserve base URL")
+		duration   = flag.Duration("duration", 10*time.Second, "run length")
+		qps        = flag.Float64("qps", 100, "target request rate")
+		inflight   = flag.Int("inflight", 64, "max concurrent requests (arrivals beyond it are dropped)")
+		reachFrac  = flag.Float64("reach", 0.5, "fraction of requests that are /v1/reach probes")
+		algs       = flag.String("algs", "srch,bj,btc", "comma-separated algorithms for /v1/query requests")
+		maxSources = flag.Int("maxsources", 4, "max sources per closure query")
+		sourcePool = flag.Int("sourcepool", 16, "distinct query shapes in circulation (smaller = more cache hits)")
+		m          = flag.Int("m", 0, "buffer pages per query (0 = server default)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	nodes, err := fetchNodes(client, *addr)
+	if err != nil {
+		fatal(fmt.Errorf("cannot reach server at %s: %w", *addr, err))
+	}
+	fmt.Printf("tcload: server has %d nodes; driving %.0f qps for %s (reach mix %.0f%%)\n",
+		nodes, *qps, *duration, 100**reachFrac)
+
+	shapes := buildShapes(*algs, nodes, *maxSources, *sourcePool, *m, *seed)
+	rng := rand.New(rand.NewSource(*seed))
+
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, *inflight)
+		dropped atomic.Int64
+		stats   = newCollector()
+	)
+	interval := time.Duration(float64(time.Second) / *qps)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	deadline := time.Now().Add(*duration)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		var op func()
+		if rng.Float64() < *reachFrac {
+			src, dst := int32(rng.Intn(nodes)+1), int32(rng.Intn(nodes)+1)
+			url := fmt.Sprintf("%s/v1/reach?src=%d&dst=%d", *addr, src, dst)
+			op = func() { stats.observe(doGet(client, url)) }
+		} else {
+			body := shapes[rng.Intn(len(shapes))]
+			url := *addr + "/v1/query"
+			op = func() { stats.observe(doPost(client, url, body)) }
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				op()
+			}()
+		default:
+			dropped.Add(1)
+		}
+	}
+	wg.Wait()
+
+	stats.report(*duration, dropped.Load())
+	printServerMetrics(client, *addr)
+	if stats.errors.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// shape is one pre-built /v1/query body.
+func buildShapes(algs string, nodes, maxSources, pool int, m int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed + 1))
+	var algList []string
+	for _, a := range bytes.Split([]byte(algs), []byte(",")) {
+		if s := string(bytes.TrimSpace(a)); s != "" {
+			algList = append(algList, s)
+		}
+	}
+	if len(algList) == 0 {
+		algList = []string{"srch"}
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	shapes := make([][]byte, 0, pool)
+	for i := 0; i < pool; i++ {
+		ns := rng.Intn(maxSources) + 1
+		sources := make([]int32, ns)
+		for j := range sources {
+			sources[j] = int32(rng.Intn(nodes) + 1)
+		}
+		req := map[string]any{
+			"algorithm": algList[i%len(algList)],
+			"sources":   sources,
+		}
+		if m > 0 {
+			req["buffer_pages"] = m
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			fatal(err)
+		}
+		shapes = append(shapes, b)
+	}
+	return shapes
+}
+
+// outcome classifies one request.
+type outcome struct {
+	latency time.Duration
+	status  int
+	err     error
+}
+
+func doGet(c *http.Client, url string) outcome {
+	start := time.Now()
+	resp, err := c.Get(url)
+	return finish(start, resp, err)
+}
+
+func doPost(c *http.Client, url string, body []byte) outcome {
+	start := time.Now()
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	return finish(start, resp, err)
+}
+
+func finish(start time.Time, resp *http.Response, err error) outcome {
+	o := outcome{err: err}
+	if resp != nil {
+		o.status = resp.StatusCode
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	o.latency = time.Since(start)
+	return o
+}
+
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	ok        atomic.Int64
+	rejected  atomic.Int64 // 429: admission control
+	timeouts  atomic.Int64 // 504: deadline expiry
+	errors    atomic.Int64 // transport errors + unexpected statuses
+}
+
+func newCollector() *collector { return &collector{} }
+
+func (c *collector) observe(o outcome) {
+	switch {
+	case o.err != nil:
+		c.errors.Add(1)
+		return
+	case o.status == http.StatusOK:
+		c.ok.Add(1)
+	case o.status == http.StatusTooManyRequests:
+		c.rejected.Add(1)
+	case o.status == http.StatusGatewayTimeout:
+		c.timeouts.Add(1)
+	default:
+		c.errors.Add(1)
+		return
+	}
+	c.mu.Lock()
+	c.latencies = append(c.latencies, o.latency)
+	c.mu.Unlock()
+}
+
+func (c *collector) report(d time.Duration, dropped int64) {
+	c.mu.Lock()
+	lats := append([]time.Duration(nil), c.latencies...)
+	c.mu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	total := c.ok.Load() + c.rejected.Load() + c.timeouts.Load() + c.errors.Load()
+	fmt.Printf("\nrequests      %d (%.1f/s achieved)\n", total, float64(total)/d.Seconds())
+	fmt.Printf("ok            %d\n", c.ok.Load())
+	fmt.Printf("rejected 429  %d\n", c.rejected.Load())
+	fmt.Printf("timeout 504   %d\n", c.timeouts.Load())
+	fmt.Printf("errors        %d\n", c.errors.Load())
+	fmt.Printf("dropped       %d (local inflight cap)\n", dropped)
+	if len(lats) > 0 {
+		q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		fmt.Printf("latency       p50 %s  p90 %s  p99 %s  max %s\n",
+			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+}
+
+func fetchNodes(c *http.Client, addr string) (int, error) {
+	resp, err := c.Get(addr + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Nodes int `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0, err
+	}
+	if h.Nodes < 1 {
+		return 0, fmt.Errorf("server reports %d nodes", h.Nodes)
+	}
+	return h.Nodes, nil
+}
+
+func printServerMetrics(c *http.Client, addr string) {
+	resp, err := c.Get(addr + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var m struct {
+		QPS          float64 `json:"qps"`
+		CacheHits    int64   `json:"cache_hits"`
+		CacheMisses  int64   `json:"cache_misses"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+		Deduplicated int64   `json:"deduplicated"`
+		PagesServed  int64   `json:"pages_served"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return
+	}
+	fmt.Printf("server        qps %.1f, cache %d hits / %d misses (%.0f%% hit rate), dedup %d, pages served %d\n",
+		m.QPS, m.CacheHits, m.CacheMisses, 100*m.CacheHitRate, m.Deduplicated, m.PagesServed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcload:", err)
+	os.Exit(1)
+}

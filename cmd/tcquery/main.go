@@ -84,6 +84,12 @@ func main() {
 			if err != nil {
 				fatal(fmt.Errorf("bad source %q: %v", part, err))
 			}
+			if v < 1 {
+				fatal(fmt.Errorf("source node %d is not positive: nodes are numbered from 1", v))
+			}
+			if v > int64(db.N()) {
+				fatal(fmt.Errorf("source node %d outside the graph: nodes are 1..%d", v, db.N()))
+			}
 			q.Sources = append(q.Sources, int32(v))
 		}
 	}

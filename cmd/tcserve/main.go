@@ -1,0 +1,114 @@
+// Command tcserve serves reachability queries over HTTP/JSON. It loads or
+// generates a database at startup, then exposes the engine through the
+// internal/server pipeline: bounded-queue admission into a worker pool,
+// an LRU result cache with single-flight deduplication, per-request
+// deadlines, and live metrics. Endpoints:
+//
+//	POST /v1/query            run one closure query, full metric record
+//	GET  /v1/reach?src=&dst=  boolean reachability fast path
+//	GET  /v1/plan             planner ranking for the loaded graph
+//	GET  /healthz             liveness + graph shape
+//	GET  /metrics             QPS, latency quantiles, cache and I/O counters
+//
+// Examples:
+//
+//	tcserve -addr :8080 -n 2000 -f 5 -l 200
+//	tcserve -addr :8080 -db /var/lib/tc/db -workers 16 -cache 1024
+//
+// SIGINT/SIGTERM shut the server down gracefully: listeners close first,
+// then in-flight and queued queries drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tcstudy/internal/core"
+	"tcstudy/internal/graphgen"
+	"tcstudy/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		n          = flag.Int("n", 2000, "number of nodes (generated input)")
+		f          = flag.Int("f", 5, "average out-degree (generated input)")
+		l          = flag.Int("l", 200, "generation locality (generated input)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		dbDir      = flag.String("db", "", "open a saved database directory instead of generating")
+		workers    = flag.Int("workers", 8, "max queries executed concurrently per engine batch")
+		queue      = flag.Int("queue", 64, "admission queue depth (full queue rejects with 429)")
+		cacheSize  = flag.Int("cache", 256, "result cache entries")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		m          = flag.Int("m", 10, "default buffer pool pages per query")
+		pagePolicy = flag.String("pagepolicy", "lru", "default page replacement policy")
+		listPolicy = flag.String("listpolicy", "smallest", "default list replacement policy")
+	)
+	flag.Parse()
+
+	var db *core.Database
+	if *dbDir != "" {
+		var err error
+		if db, err = core.OpenDatabase(*dbDir); err != nil {
+			fatal(err)
+		}
+		log.Printf("opened database %s: n=%d |G|=%d", *dbDir, db.N(), db.NumArcs())
+	} else {
+		arcs, err := graphgen.Generate(graphgen.Params{Nodes: *n, OutDegree: *f, Locality: *l, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		db = core.NewDatabase(*n, arcs)
+		log.Printf("generated database: n=%d F=%d l=%d seed=%d |G|=%d", *n, *f, *l, *seed, db.NumArcs())
+	}
+
+	srv := server.New(db, server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		DefaultConfig: core.Config{
+			BufferPages: *m,
+			PagePolicy:  *pagePolicy,
+			ListPolicy:  *listPolicy,
+		},
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("tcserve listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
+		*addr, *workers, *queue, *cacheSize, *timeout)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight queries")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("tcserve stopped cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcserve:", err)
+	os.Exit(1)
+}

@@ -121,3 +121,75 @@ func TestConcurrentManyIdenticalQueries(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentStressSmallBuffers floods the engine with far more
+// simultaneous requests than any single batch the study ran — a mixed
+// algorithm load over deliberately tiny buffer pools, the regime where
+// page replacement churns hardest — and checks every per-request metric
+// record against its solo-run reference. Run under -race (CI does) it also
+// stresses the shared disk, catalog and temp-file paths for data races.
+func TestConcurrentStressSmallBuffers(t *testing.T) {
+	_, db := randomDAG(t, 1005, 400, 4, 30)
+	baseFiles := db.disk.NumFiles()
+
+	// A pool of distinct request shapes; each is solo-run first to pin the
+	// reference record.
+	type shape struct {
+		req    Request
+		io     int64
+		tuples int64
+		gen    int64
+	}
+	algs := []Algorithm{BTC, BJ, SRCH, SPN, JKB2, HYB, SEMI, SCHMITZ}
+	var shapes []shape
+	for i, alg := range algs {
+		req := Request{
+			Alg:   alg,
+			Query: Query{Sources: graphgen.SourceSet(400, 2+i%4, int64(i))},
+			Cfg:   Config{BufferPages: 4 + i%3, ILIMIT: 0.25},
+		}
+		res, err := Run(db, req.Alg, req.Query, req.Cfg)
+		if err != nil {
+			t.Fatalf("solo %s: %v", alg, err)
+		}
+		shapes = append(shapes, shape{
+			req:    req,
+			io:     res.Metrics.TotalIO(),
+			tuples: res.Metrics.DistinctTuples,
+			gen:    res.Metrics.TuplesGenerated,
+		})
+	}
+
+	// 6 simultaneous instances of every shape in one batch.
+	const copies = 6
+	var reqs []Request
+	for c := 0; c < copies; c++ {
+		for _, sh := range shapes {
+			reqs = append(reqs, sh.req)
+		}
+	}
+	resps := RunConcurrent(db, reqs)
+	for i, r := range resps {
+		sh := shapes[i%len(shapes)]
+		if r.Err != nil {
+			t.Fatalf("request %d (%s): %v", i, sh.req.Alg, r.Err)
+		}
+		m := r.Result.Metrics
+		if m.TotalIO() != sh.io {
+			t.Errorf("request %d (%s): I/O %d != solo %d", i, sh.req.Alg, m.TotalIO(), sh.io)
+		}
+		if m.DistinctTuples != sh.tuples {
+			t.Errorf("request %d (%s): tuples %d != solo %d", i, sh.req.Alg, m.DistinctTuples, sh.tuples)
+		}
+		if m.TuplesGenerated != sh.gen {
+			t.Errorf("request %d (%s): generated %d != solo %d", i, sh.req.Alg, m.TuplesGenerated, sh.gen)
+		}
+	}
+
+	// The flood's temporary storage is fully released.
+	for id := baseFiles; id < db.disk.NumFiles(); id++ {
+		if n := db.disk.NumPages(fileID(id)); n != 0 {
+			t.Fatalf("temp file %d still holds %d pages", id, n)
+		}
+	}
+}

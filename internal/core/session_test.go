@@ -97,9 +97,32 @@ func TestSessionBreaksOnError(t *testing.T) {
 	if _, err := s.Run(BTC, Query{}); !errors.Is(err, ErrSessionBroken) {
 		t.Fatalf("broken session returned %v", err)
 	}
+	// The broken state is sticky: every subsequent query refuses, whatever
+	// its shape.
+	if _, err := s.Run(SRCH, Query{Sources: []int32{1}}); !errors.Is(err, ErrSessionBroken) {
+		t.Fatalf("broken session accepted a second query: %v", err)
+	}
 	// The database itself is still healthy.
 	if _, err := Run(db, BTC, Query{}, Config{BufferPages: 8}); err != nil {
 		t.Fatalf("database unusable after broken session: %v", err)
+	}
+	// And a fresh session over the same database works end to end,
+	// matching a cold run's answer and cost.
+	fresh, err := NewSession(db, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatalf("cannot open fresh session after a broken one: %v", err)
+	}
+	got, err := fresh.Run(BTC, Query{})
+	if err != nil {
+		t.Fatalf("fresh session query failed: %v", err)
+	}
+	cold, err := Run(db, BTC, Query{}, Config{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics.TotalIO() != cold.Metrics.TotalIO() {
+		t.Fatalf("fresh session I/O %d != cold run %d",
+			got.Metrics.TotalIO(), cold.Metrics.TotalIO())
 	}
 }
 

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"tcstudy/internal/core"
+)
+
+// Admission control. The engine's unit of safe concurrency is the
+// core.RunConcurrent batch: queries of one batch run in parallel over the
+// shared database and their temporary files are released together when the
+// whole batch finishes (per-request truncation is impossible — file IDs
+// from different queries interleave). The dispatcher therefore serves
+// continuous traffic as a sequence of batches: it blocks for the next
+// queued job, tops the batch up to the worker limit without waiting, runs
+// the batch, and repeats. The queue in front of the batch loop is bounded;
+// a submission finding it full is rejected immediately (HTTP 429), which
+// caps both memory and worst-case queueing delay under overload.
+
+// ErrSaturated is returned by Submit when the admission queue is full.
+var ErrSaturated = errors.New("server: admission queue full")
+
+// ErrClosed is returned by Submit after the dispatcher has been closed.
+var ErrClosed = errors.New("server: dispatcher closed")
+
+// job is one admitted query waiting for a batch slot.
+type job struct {
+	req  core.Request
+	ctx  context.Context
+	done chan core.Response // buffered; the batch loop never blocks on it
+}
+
+// dispatcher is the bounded worker-pool admission controller.
+type dispatcher struct {
+	exec    func([]core.Request) []core.Response
+	queue   chan *job
+	workers int // max queries per batch, i.e. peak engine concurrency
+	stop    chan struct{}
+	done    chan struct{}
+	closing sync.Once
+
+	// mu serializes admission against Close: once closed is set no job can
+	// enter the queue, so the shutdown drain cannot strand a submitter.
+	mu     sync.Mutex
+	closed bool
+}
+
+// newDispatcher builds a dispatcher executing batches with
+// core.RunConcurrent over db.
+func newDispatcher(db *core.Database, workers, queueDepth int) *dispatcher {
+	return newDispatcherFunc(func(reqs []core.Request) []core.Response {
+		return core.RunConcurrent(db, reqs)
+	}, workers, queueDepth)
+}
+
+// newDispatcherFunc allows tests to substitute the batch executor.
+func newDispatcherFunc(exec func([]core.Request) []core.Response, workers, queueDepth int) *dispatcher {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	d := &dispatcher{
+		exec:    exec,
+		queue:   make(chan *job, queueDepth),
+		workers: workers,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go d.loop()
+	return d
+}
+
+// Submit admits one query and blocks until its result is ready, the
+// context expires, or the queue rejects it. A query whose submitter times
+// out may still execute (the engine's runs are not interruptible); its
+// result then lands in the cache for the retry.
+func (d *dispatcher) Submit(ctx context.Context, req core.Request) (*core.Result, error) {
+	j := &job{req: req, ctx: ctx, done: make(chan core.Response, 1)}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case d.queue <- j:
+		d.mu.Unlock()
+	default:
+		d.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	select {
+	case resp := <-j.done:
+		return resp.Result, resp.Err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops admission and waits for every already-queued job to finish:
+// the shutdown drain.
+func (d *dispatcher) Close() {
+	d.closing.Do(func() {
+		d.mu.Lock()
+		d.closed = true
+		d.mu.Unlock()
+		close(d.stop)
+	})
+	<-d.done
+}
+
+func (d *dispatcher) loop() {
+	defer close(d.done)
+	for {
+		first, ok := d.next()
+		if !ok {
+			return
+		}
+		batch := []*job{first}
+	fill:
+		for len(batch) < d.workers {
+			select {
+			case j := <-d.queue:
+				batch = append(batch, j)
+			default:
+				break fill
+			}
+		}
+		d.run(batch)
+	}
+}
+
+// next blocks for the next job. After Close it keeps draining whatever is
+// already queued and reports ok=false only once the queue is empty.
+func (d *dispatcher) next() (*job, bool) {
+	select {
+	case j := <-d.queue:
+		return j, true
+	default:
+	}
+	select {
+	case j := <-d.queue:
+		return j, true
+	case <-d.stop:
+		select {
+		case j := <-d.queue:
+			return j, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// run executes one batch. Jobs whose context expired while queued are
+// answered without touching the engine.
+func (d *dispatcher) run(batch []*job) {
+	live := batch[:0]
+	for _, j := range batch {
+		if err := j.ctx.Err(); err != nil {
+			j.done <- core.Response{Err: err}
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	reqs := make([]core.Request, len(live))
+	for i, j := range live {
+		reqs[i] = j.req
+	}
+	resps := d.exec(reqs)
+	for i, j := range live {
+		j.done <- resps[i]
+	}
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tcstudy/internal/core"
+)
+
+// blockingExec is a controllable batch executor: each call signals started
+// and waits for release, recording the batch it received.
+type blockingExec struct {
+	mu      sync.Mutex
+	batches [][]core.Request
+	started chan struct{}
+	release chan struct{}
+}
+
+func newBlockingExec() *blockingExec {
+	return &blockingExec{
+		started: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (b *blockingExec) exec(reqs []core.Request) []core.Response {
+	b.mu.Lock()
+	b.batches = append(b.batches, reqs)
+	b.mu.Unlock()
+	b.started <- struct{}{}
+	<-b.release
+	out := make([]core.Response, len(reqs))
+	for i := range out {
+		out[i] = core.Response{Result: &core.Result{}}
+	}
+	return out
+}
+
+func (b *blockingExec) batchSizes() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var sizes []int
+	for _, batch := range b.batches {
+		sizes = append(sizes, len(batch))
+	}
+	return sizes
+}
+
+func TestDispatcherSaturation(t *testing.T) {
+	ex := newBlockingExec()
+	d := newDispatcherFunc(ex.exec, 1, 1)
+	defer func() { close(ex.release); d.Close() }()
+
+	results := make(chan error, 2)
+	submit := func() {
+		_, err := d.Submit(context.Background(), core.Request{Alg: core.SRCH})
+		results <- err
+	}
+	// First job enters the (size-1) batch.
+	go submit()
+	<-ex.started
+	// Second job sits in the (depth-1) queue while the batch blocks.
+	go submit()
+	waitQueue(t, d, 1)
+	// Third submission finds the queue full: immediate rejection.
+	if _, err := d.Submit(context.Background(), core.Request{Alg: core.SRCH}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("full queue returned %v, want ErrSaturated", err)
+	}
+}
+
+func TestDispatcherQueueTimeout(t *testing.T) {
+	ex := newBlockingExec()
+	d := newDispatcherFunc(ex.exec, 1, 4)
+	defer func() { close(ex.release); d.Close() }()
+
+	go d.Submit(context.Background(), core.Request{Alg: core.SRCH}) //nolint:errcheck
+	<-ex.started
+
+	// A queued job whose deadline expires is answered without execution.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := d.Submit(ctx, core.Request{Alg: core.BTC})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued job returned %v, want deadline exceeded", err)
+	}
+}
+
+func TestDispatcherSkipsExpiredJobs(t *testing.T) {
+	ex := newBlockingExec()
+	d := newDispatcherFunc(ex.exec, 4, 8)
+
+	// Block the loop with one live job.
+	go d.Submit(context.Background(), core.Request{Alg: core.SRCH}) //nolint:errcheck
+	<-ex.started
+
+	// Queue one already-cancelled job and one live one.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	go d.Submit(cancelled, core.Request{Alg: core.BTC}) //nolint:errcheck
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Submit(context.Background(), core.Request{Alg: core.BJ})
+		done <- err
+	}()
+	waitQueue(t, d, 2)
+
+	// Release the first batch; the next batch must contain only the live
+	// job — the cancelled one never reaches the engine.
+	ex.release <- struct{}{}
+	<-ex.started
+	ex.release <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatalf("live job failed: %v", err)
+	}
+	close(ex.release)
+	d.Close()
+	for _, batch := range ex.batches {
+		for _, req := range batch {
+			if req.Alg == core.BTC {
+				t.Fatal("cancelled job was dispatched to the engine")
+			}
+		}
+	}
+}
+
+func TestDispatcherBatchesUpToWorkerLimit(t *testing.T) {
+	ex := newBlockingExec()
+	d := newDispatcherFunc(ex.exec, 3, 16)
+
+	// Hold the loop in a first batch, then queue five more jobs.
+	var wg sync.WaitGroup
+	submit := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := d.Submit(context.Background(), core.Request{Alg: core.SRCH}); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	submit()
+	<-ex.started
+	for i := 0; i < 5; i++ {
+		submit()
+	}
+	waitQueue(t, d, 5)
+	// Six jobs drain as batches of 1, 3 (the worker limit) and 2.
+	ex.release <- struct{}{}
+	<-ex.started
+	ex.release <- struct{}{}
+	<-ex.started
+	ex.release <- struct{}{}
+	wg.Wait()
+	d.Close()
+	total := 0
+	for _, n := range ex.batchSizes() {
+		if n > 3 {
+			t.Fatalf("batch of %d exceeds worker limit 3", n)
+		}
+		total += n
+	}
+	if total != 6 {
+		t.Fatalf("dispatched %d jobs, want 6", total)
+	}
+}
+
+func TestDispatcherDrainsOnClose(t *testing.T) {
+	ex := newBlockingExec()
+	d := newDispatcherFunc(ex.exec, 2, 8)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := d.Submit(context.Background(), core.Request{Alg: core.SRCH})
+			errs <- err
+		}()
+	}
+	// Wait until every job is either executing or queued, then close while
+	// releasing batches: all four must complete.
+	<-ex.started
+	waitQueue(t, d, 2)
+	go func() {
+		for {
+			select {
+			case ex.release <- struct{}{}:
+			case <-d.done:
+				return
+			}
+		}
+	}()
+	d.Close()
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("queued job lost during drain: %v", err)
+		}
+	}
+	// After close, admission refuses.
+	if _, err := d.Submit(context.Background(), core.Request{Alg: core.SRCH}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed dispatcher returned %v, want ErrClosed", err)
+	}
+}
+
+// waitQueue waits until the dispatcher queue holds want jobs.
+func waitQueue(t *testing.T, d *dispatcher, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(d.queue) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d jobs (have %d)", want, len(d.queue))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

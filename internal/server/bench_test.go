@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tcstudy/internal/core"
+	"tcstudy/internal/graphgen"
+)
+
+// Server benchmarks, following the repository convention of reporting page
+// I/O — the paper's primary metric — alongside time via ReportMetric. The
+// cache-hit path measures the full HTTP round trip served from the LRU;
+// the cache-miss path adds one engine execution per operation.
+
+var (
+	benchOnce sync.Once
+	benchDB   *core.Database
+)
+
+func benchServer(b *testing.B) (*Server, *httptest.Server) {
+	b.Helper()
+	benchOnce.Do(func() {
+		arcs, err := graphgen.Generate(graphgen.Params{Nodes: 500, OutDegree: 5, Locality: 50, Seed: 11})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDB = core.NewDatabase(500, arcs)
+	})
+	s := New(benchDB, Options{CacheEntries: 4096})
+	ts := httptest.NewServer(s)
+	b.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(b *testing.B, client *http.Client, url string, body []byte) {
+	b.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func BenchmarkServerQuery(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		s, ts := benchServer(b)
+		client := ts.Client()
+		body, _ := json.Marshal(map[string]any{"algorithm": "srch", "sources": []int32{7, 42}})
+		post(b, client, ts.URL+"/v1/query", body) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, client, ts.URL+"/v1/query", body)
+		}
+		b.StopTimer()
+		if s.Metrics().CacheHits.Load() < int64(b.N) {
+			b.Fatalf("only %d cache hits over %d ops", s.Metrics().CacheHits.Load(), b.N)
+		}
+		b.ReportMetric(0, "pageIO/op")
+	})
+	b.Run("miss", func(b *testing.B) {
+		s, ts := benchServer(b)
+		client := ts.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh source pair every iteration defeats the cache.
+			body, _ := json.Marshal(map[string]any{
+				"algorithm": "srch",
+				"sources":   []int32{int32(i%500 + 1), int32((i/500)%500 + 1)},
+			})
+			post(b, client, ts.URL+"/v1/query", body)
+		}
+		b.StopTimer()
+		pages := s.Metrics().PagesServed.Load()
+		b.ReportMetric(float64(pages)/float64(b.N), "pageIO/op")
+	})
+	b.Run("reach", func(b *testing.B) {
+		s, ts := benchServer(b)
+		client := ts.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Sources cycle through a small pool, so the steady state is
+			// the warm-source path.
+			url := fmt.Sprintf("%s/v1/reach?src=%d&dst=%d", ts.URL, i%16+1, (i*7)%500+1)
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(s.Metrics().PagesServed.Load())/float64(b.N), "pageIO/op")
+	})
+}

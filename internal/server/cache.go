@@ -1,0 +1,119 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"tcstudy/internal/core"
+)
+
+// resultCache is an LRU of query results with single-flight deduplication:
+// concurrent requests for the same key share one engine execution instead
+// of racing duplicate work through the admission queue. Keys canonicalize
+// the full (algorithm, sources, config) triple, so two requests share an
+// entry exactly when the engine would do identical work for both.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> *entry element
+	inflight map[string]*flight
+}
+
+type entry struct {
+	key string
+	res *core.Result
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// newResultCache builds a cache holding up to capacity results. A zero
+// capacity disables retention but keeps single-flight deduplication.
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Len reports the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// lookup must be called with mu held; it refreshes recency on a hit.
+func (c *resultCache) lookup(key string) (*core.Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).res, true
+}
+
+// insert must be called with mu held.
+func (c *resultCache) insert(key string, res *core.Result) {
+	if c.capacity == 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, res: res})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+}
+
+// Do returns the result for key, computing it with fn at most once across
+// concurrent callers. hit reports a cache hit; shared reports that the
+// caller waited on another request's in-flight computation. Errors are
+// never cached. A waiter whose context expires stops waiting, but the
+// computation proceeds and its result still lands in the cache.
+func (c *resultCache) Do(ctx context.Context, key string, fn func() (*core.Result, error)) (res *core.Result, hit, shared bool, err error) {
+	c.mu.Lock()
+	if res, ok := c.lookup(key); ok {
+		c.mu.Unlock()
+		return res, true, false, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, false, true, f.err
+		case <-ctx.Done():
+			return nil, false, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insert(key, f.res)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, false, false, f.err
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tcstudy/internal/core"
+)
+
+func value(io int64) *core.Result {
+	return &core.Result{Metrics: core.Metrics{Compute: core.PhaseIO{Reads: io}}}
+}
+
+func fill(t *testing.T, c *resultCache, key string, io int64) {
+	t.Helper()
+	_, hit, shared, err := c.Do(context.Background(), key, func() (*core.Result, error) {
+		return value(io), nil
+	})
+	if err != nil || hit || shared {
+		t.Fatalf("fill %q: hit=%t shared=%t err=%v", key, hit, shared, err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	fill(t, c, "a", 1)
+	fill(t, c, "b", 2)
+	// Touch a so that b is the eviction victim.
+	if _, hit, _, _ := c.Do(context.Background(), "a", nil); !hit {
+		t.Fatal("a not cached")
+	}
+	fill(t, c, "c", 3)
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	if _, hit, _, _ := c.Do(context.Background(), "c", nil); !hit {
+		t.Fatal("c evicted prematurely")
+	}
+	res, hit, _, _ := c.Do(context.Background(), "a", nil)
+	if !hit || res.Metrics.TotalIO() != 1 {
+		t.Fatalf("a lost: hit=%t res=%v", hit, res)
+	}
+	// b was least recently used: recomputation required.
+	ran := false
+	if _, hit, _, _ = c.Do(context.Background(), "b", func() (*core.Result, error) {
+		ran = true
+		return value(2), nil
+	}); hit || !ran {
+		t.Fatalf("b should have been evicted (hit=%t ran=%t)", hit, ran)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := newResultCache(8)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	const waiters = 8
+	var (
+		wg            sync.WaitGroup
+		hitCount      atomic.Int64
+		sharedCount   atomic.Int64
+		computedCount atomic.Int64
+	)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, hit, shared, err := c.Do(context.Background(), "k", func() (*core.Result, error) {
+				calls.Add(1)
+				close(started)
+				<-gate
+				return value(7), nil
+			})
+			if err != nil {
+				t.Errorf("err=%v", err)
+			}
+			switch {
+			case hit:
+				hitCount.Add(1) // arrived after the flight completed
+			case shared:
+				sharedCount.Add(1)
+			default:
+				computedCount.Add(1)
+			}
+			if res.Metrics.TotalIO() != 7 {
+				t.Errorf("wrong result %v", res.Metrics.TotalIO())
+			}
+		}()
+	}
+	// Let the waiters pile onto the single flight, then open the gate.
+	<-started
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	if computedCount.Load() != 1 || sharedCount.Load()+hitCount.Load() != waiters-1 {
+		t.Fatalf("computed=%d shared=%d hits=%d over %d waiters",
+			computedCount.Load(), sharedCount.Load(), hitCount.Load(), waiters)
+	}
+	// Afterwards the result is cached.
+	if _, hit, _, _ := c.Do(context.Background(), "k", nil); !hit {
+		t.Fatal("result not cached after flight")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newResultCache(4)
+	boom := errors.New("boom")
+	if _, _, _, err := c.Do(context.Background(), "k", func() (*core.Result, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	ran := false
+	if _, hit, _, err := c.Do(context.Background(), "k", func() (*core.Result, error) {
+		ran = true
+		return value(1), nil
+	}); err != nil || hit || !ran {
+		t.Fatalf("error was cached: hit=%t ran=%t err=%v", hit, ran, err)
+	}
+}
+
+func TestCacheWaiterHonoursContext(t *testing.T) {
+	c := newResultCache(4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (*core.Result, error) { //nolint:errcheck
+		close(started)
+		<-gate
+		return value(1), nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, shared, err := c.Do(ctx, "k", nil); !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("shared=%t err=%v, want cancelled waiter", shared, err)
+	}
+	close(gate)
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	c := newResultCache(0)
+	ran := 0
+	for i := 0; i < 2; i++ {
+		if _, hit, _, _ := c.Do(context.Background(), "k", func() (*core.Result, error) {
+			ran++
+			return value(1), nil
+		}); hit {
+			t.Fatal("zero-capacity cache reported a hit")
+		}
+	}
+	if ran != 2 {
+		t.Fatalf("fn ran %d times, want 2 (no retention)", ran)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("zero-capacity cache holds %d entries", c.Len())
+	}
+}

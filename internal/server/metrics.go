@@ -1,0 +1,158 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's live counter set, exported as JSON by the
+// /metrics endpoint. Counters are lock-free atomics; latency quantiles come
+// from a mutex-guarded ring of recent request latencies, so a snapshot is
+// cheap enough to poll while serving traffic.
+type Metrics struct {
+	start time.Time
+
+	// Request counters by endpoint.
+	Queries atomic.Int64 // POST /v1/query requests accepted for processing
+	Reaches atomic.Int64 // GET /v1/reach requests accepted for processing
+	Plans   atomic.Int64 // GET /v1/plan requests
+
+	// Outcome counters.
+	CacheHits    atomic.Int64 // answered straight from the result cache
+	CacheMisses  atomic.Int64 // executed by the engine
+	Deduplicated atomic.Int64 // coalesced onto an identical in-flight query
+	Rejected     atomic.Int64 // 429: admission queue full
+	Timeouts     atomic.Int64 // 504: request deadline expired
+	Errors       atomic.Int64 // 4xx validation + 5xx engine failures
+
+	// Work served by the engine (cache hits add nothing here — that page
+	// I/O was already paid for by the miss that filled the cache).
+	PagesServed  atomic.Int64 // page I/O of executed queries (the paper's metric)
+	TuplesServed atomic.Int64 // distinct closure tuples materialized
+
+	// InFlight is the number of requests currently being processed.
+	InFlight atomic.Int64
+
+	lat latencyRing
+}
+
+// NewMetrics returns a zeroed metric set with the clock started.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// ObserveLatency records one served request's latency.
+func (m *Metrics) ObserveLatency(d time.Duration) { m.lat.add(d) }
+
+// Snapshot is the JSON shape of /metrics.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QPS           float64 `json:"qps"` // completed requests / uptime
+
+	Queries int64 `json:"queries"`
+	Reaches int64 `json:"reaches"`
+	Plans   int64 `json:"plans"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Deduplicated int64   `json:"deduplicated"`
+	Rejected     int64   `json:"rejected"`
+	Timeouts     int64   `json:"timeouts"`
+	Errors       int64   `json:"errors"`
+
+	PagesServed  int64 `json:"pages_served"`
+	TuplesServed int64 `json:"tuples_served"`
+	InFlight     int64 `json:"in_flight"`
+
+	LatencyMS LatencyQuantiles `json:"latency_ms"`
+}
+
+// LatencyQuantiles reports quantiles over the recent-latency window, in
+// milliseconds.
+type LatencyQuantiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	up := time.Since(m.start).Seconds()
+	hits, misses := m.CacheHits.Load(), m.CacheMisses.Load()
+	completed := m.Queries.Load() + m.Reaches.Load() + m.Plans.Load()
+	s := Snapshot{
+		UptimeSeconds: up,
+		Queries:       m.Queries.Load(),
+		Reaches:       m.Reaches.Load(),
+		Plans:         m.Plans.Load(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		Deduplicated:  m.Deduplicated.Load(),
+		Rejected:      m.Rejected.Load(),
+		Timeouts:      m.Timeouts.Load(),
+		Errors:        m.Errors.Load(),
+		PagesServed:   m.PagesServed.Load(),
+		TuplesServed:  m.TuplesServed.Load(),
+		InFlight:      m.InFlight.Load(),
+		LatencyMS:     m.lat.quantiles(),
+	}
+	if up > 0 {
+		s.QPS = float64(completed) / up
+	}
+	if hits+misses > 0 {
+		s.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return s
+}
+
+// latencyWindow bounds the quantile computation; at 4096 samples the window
+// covers well over a minute of traffic at the load generator's default rate.
+const latencyWindow = 4096
+
+// latencyRing keeps the most recent latencies for quantile estimation.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   [latencyWindow]time.Duration
+	next  int
+	total int64
+}
+
+func (r *latencyRing) add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % latencyWindow
+	r.total++
+	r.mu.Unlock()
+}
+
+func (r *latencyRing) quantiles() LatencyQuantiles {
+	r.mu.Lock()
+	n := int(r.total)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, r.buf[:n])
+	total := r.total
+	r.mu.Unlock()
+	if n == 0 {
+		return LatencyQuantiles{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return float64(samples[i]) / float64(time.Millisecond)
+	}
+	return LatencyQuantiles{
+		Count: total,
+		P50:   at(0.50),
+		P90:   at(0.90),
+		P99:   at(0.99),
+		Max:   float64(samples[n-1]) / float64(time.Millisecond),
+	}
+}

@@ -1,0 +1,571 @@
+// Package server exposes the transitive closure engine over HTTP/JSON: a
+// query endpoint returning the paper's full metric record, a boolean
+// reachability fast path, the planner's ranking for the loaded graph, and
+// live operational metrics.
+//
+// The serving pipeline layers three production mechanics over the engine:
+//
+//   - admission control: queries flow through a bounded queue into a
+//     bounded worker pool built on core.RunConcurrent; when the queue is
+//     full, requests are rejected with 429 rather than piling up.
+//   - result caching: an LRU keyed on the canonical (algorithm, sources,
+//     config) triple answers repeated queries with zero page I/O, and
+//     single-flight deduplication collapses identical in-flight queries
+//     onto one engine execution.
+//   - deadlines: every request carries a context deadline (default or
+//     per-request); expiry while queued or waiting returns 504 without
+//     charging the engine.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/core"
+	"tcstudy/internal/graph"
+	"tcstudy/internal/planner"
+	"tcstudy/internal/slist"
+)
+
+// Options configures a Server. Zero values select the defaults.
+type Options struct {
+	// Workers bounds the number of queries one engine batch executes
+	// concurrently (default 8).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256; 0 keeps
+	// single-flight deduplication but retains nothing).
+	CacheEntries int
+	// DefaultTimeout is the per-request deadline when the request does not
+	// set one (default 30s).
+	DefaultTimeout time.Duration
+	// DefaultConfig supplies engine configuration fields a request leaves
+	// unset (buffer pages, policies).
+	DefaultConfig core.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 8
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 256
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.DefaultConfig.BufferPages == 0 {
+		o.DefaultConfig.BufferPages = 10
+	}
+	if o.DefaultConfig.PagePolicy == "" {
+		o.DefaultConfig.PagePolicy = "lru"
+	}
+	if o.DefaultConfig.ListPolicy == "" {
+		o.DefaultConfig.ListPolicy = "smallest"
+	}
+	return o
+}
+
+// Server serves reachability queries over one loaded database.
+type Server struct {
+	db    *core.Database
+	opts  Options
+	disp  *dispatcher
+	cache *resultCache
+	met   *Metrics
+	mux   *http.ServeMux
+	algs  map[core.Algorithm]bool
+
+	planOnce sync.Once
+	profile  planner.Profile
+	planErr  error
+}
+
+// New builds a server over an already-loaded database.
+func New(db *core.Database, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		db:    db,
+		opts:  opts,
+		disp:  newDispatcher(db, opts.Workers, opts.QueueDepth),
+		cache: newResultCache(opts.CacheEntries),
+		met:   NewMetrics(),
+		mux:   http.NewServeMux(),
+		algs:  make(map[core.Algorithm]bool),
+	}
+	for _, a := range core.Algorithms() {
+		s.algs[a] = true
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/reach", s.handleReach)
+	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the live counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Close stops admitting queries and drains in-flight work.
+func (s *Server) Close() { s.disp.Close() }
+
+// httpError is an error with an HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// fail maps an error to its HTTP status and counts it.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, ErrSaturated):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case isDeadline(err):
+		status = http.StatusGatewayTimeout
+	}
+	switch status {
+	case http.StatusTooManyRequests:
+		s.met.Rejected.Add(1)
+	case http.StatusGatewayTimeout:
+		s.met.Timeouts.Add(1)
+	default:
+		s.met.Errors.Add(1)
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func isDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// queryRequest is the body of POST /v1/query. Unset configuration fields
+// inherit the server defaults.
+type queryRequest struct {
+	Algorithm string  `json:"algorithm"`
+	Sources   []int32 `json:"sources"` // empty = full closure
+	// Engine configuration overrides.
+	BufferPages int     `json:"buffer_pages,omitempty"`
+	PagePolicy  string  `json:"page_policy,omitempty"`
+	ListPolicy  string  `json:"list_policy,omitempty"`
+	ILIMIT      float64 `json:"ilimit,omitempty"`
+	// TimeoutMS overrides the server's default request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// IncludeSuccessors adds the full successor sets to the response
+	// (successor counts are always included).
+	IncludeSuccessors bool `json:"include_successors,omitempty"`
+}
+
+// queryResponse is the reply of POST /v1/query.
+type queryResponse struct {
+	Algorithm       string            `json:"algorithm"`
+	Sources         []int32           `json:"sources,omitempty"`
+	Cached          bool              `json:"cached"`
+	Deduplicated    bool              `json:"deduplicated"`
+	ElapsedMS       float64           `json:"elapsed_ms"`
+	Metrics         metricRecord      `json:"metrics"`
+	SuccessorCounts map[int32]int     `json:"successor_counts"`
+	Successors      map[int32][]int32 `json:"successors,omitempty"`
+}
+
+// metricRecord is the JSON shape of the paper's full measurement record.
+type metricRecord struct {
+	RestructureReads  int64   `json:"restructure_reads"`
+	RestructureWrites int64   `json:"restructure_writes"`
+	ComputeReads      int64   `json:"compute_reads"`
+	ComputeWrites     int64   `json:"compute_writes"`
+	TotalIO           int64   `json:"total_io"`
+	BufferHits        int64   `json:"buffer_hits"`
+	BufferMisses      int64   `json:"buffer_misses"`
+	BufferEvicts      int64   `json:"buffer_evicts"`
+	BufferHitRatio    float64 `json:"buffer_hit_ratio"`
+
+	TuplesGenerated   int64 `json:"tuples_generated"`
+	Duplicates        int64 `json:"duplicates"`
+	DistinctTuples    int64 `json:"distinct_tuples"`
+	SourceTuples      int64 `json:"source_tuples"`
+	SuccessorsFetched int64 `json:"successors_fetched"`
+	ListUnions        int64 `json:"list_unions"`
+	ArcsConsidered    int64 `json:"arcs_considered"`
+	ArcsMarked        int64 `json:"arcs_marked"`
+
+	MarkingPct          float64 `json:"marking_pct"`
+	SelectionEfficiency float64 `json:"selection_efficiency"`
+	UnmarkedLocality    float64 `json:"unmarked_locality"`
+
+	MagicNodes int64   `json:"magic_nodes,omitempty"`
+	MagicArcs  int64   `json:"magic_arcs,omitempty"`
+	MagicH     float64 `json:"magic_h,omitempty"`
+	MagicW     float64 `json:"magic_w,omitempty"`
+
+	PageSplits   int64 `json:"page_splits"`
+	ListsMoved   int64 `json:"lists_moved"`
+	EntriesMoved int64 `json:"entries_moved"`
+	Overflows    int64 `json:"overflows"`
+
+	RestructureMS float64 `json:"restructure_ms"`
+	ComputeMS     float64 `json:"compute_ms"`
+	EstimatedIOMS float64 `json:"estimated_io_ms"`
+}
+
+func newMetricRecord(m core.Metrics) metricRecord {
+	return metricRecord{
+		RestructureReads:    m.Restructure.Reads,
+		RestructureWrites:   m.Restructure.Writes,
+		ComputeReads:        m.Compute.Reads,
+		ComputeWrites:       m.Compute.Writes,
+		TotalIO:             m.TotalIO(),
+		BufferHits:          m.ComputeBuffer.Hits,
+		BufferMisses:        m.ComputeBuffer.Misses,
+		BufferEvicts:        m.ComputeBuffer.Evicts,
+		BufferHitRatio:      m.ComputeBuffer.HitRatio(),
+		TuplesGenerated:     m.TuplesGenerated,
+		Duplicates:          m.Duplicates,
+		DistinctTuples:      m.DistinctTuples,
+		SourceTuples:        m.SourceTuples,
+		SuccessorsFetched:   m.SuccessorsFetched,
+		ListUnions:          m.ListUnions,
+		ArcsConsidered:      m.ArcsConsidered,
+		ArcsMarked:          m.ArcsMarked,
+		MarkingPct:          m.MarkingPct(),
+		SelectionEfficiency: m.SelectionEfficiency(),
+		UnmarkedLocality:    m.AvgUnmarkedLocality(),
+		MagicNodes:          m.MagicNodes,
+		MagicArcs:           m.MagicArcs,
+		MagicH:              m.MagicH,
+		MagicW:              m.MagicW,
+		PageSplits:          m.Store.Splits,
+		ListsMoved:          m.Store.ListsMoved,
+		EntriesMoved:        m.Store.EntriesMoved,
+		Overflows:           m.Store.Overflows,
+		RestructureMS:       float64(m.RestructureTime) / float64(time.Millisecond),
+		ComputeMS:           float64(m.ComputeTime) / float64(time.Millisecond),
+		EstimatedIOMS:       float64(m.EstimatedIOTime()) / float64(time.Millisecond),
+	}
+}
+
+// buildRequest validates a query shape against the loaded database and
+// fills configuration defaults.
+func (s *Server) buildRequest(alg string, sources []int32, qr queryRequest) (core.Request, error) {
+	a := core.Algorithm(strings.ToLower(strings.TrimSpace(alg)))
+	if !s.algs[a] {
+		return core.Request{}, badRequest("unknown algorithm %q (have %v)", alg, core.Algorithms())
+	}
+	for _, src := range sources {
+		if src < 1 || src > int32(s.db.N()) {
+			return core.Request{}, badRequest("source node %d outside 1..%d", src, s.db.N())
+		}
+	}
+	cfg := s.opts.DefaultConfig
+	if qr.BufferPages != 0 {
+		cfg.BufferPages = qr.BufferPages
+	}
+	if qr.PagePolicy != "" {
+		cfg.PagePolicy = qr.PagePolicy
+	}
+	if qr.ListPolicy != "" {
+		cfg.ListPolicy = qr.ListPolicy
+	}
+	if qr.ILIMIT != 0 {
+		cfg.ILIMIT = qr.ILIMIT
+	}
+	if cfg.BufferPages < 4 {
+		return core.Request{}, badRequest("buffer pool must have at least 4 pages, got %d", cfg.BufferPages)
+	}
+	if _, err := buffer.NewPolicy(cfg.PagePolicy, cfg.BufferPages); err != nil {
+		return core.Request{}, badRequest("%v", err)
+	}
+	if _, err := slist.NewListPolicy(cfg.ListPolicy); err != nil {
+		return core.Request{}, badRequest("%v", err)
+	}
+	return core.Request{Alg: a, Query: core.Query{Sources: sources}, Cfg: cfg}, nil
+}
+
+// cacheKey canonicalizes a request: the source set is sorted and
+// deduplicated (the engine's answer is a per-source map, so order and
+// multiplicity cannot matter), and every config field that changes engine
+// behaviour participates.
+func cacheKey(req core.Request) string {
+	srcs := append([]int32(nil), req.Query.Sources...)
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|m=%d|pp=%s|lp=%s|il=%g|nomark=%t|idx=%t|noclus=%t|s=",
+		req.Alg, req.Cfg.BufferPages, req.Cfg.PagePolicy, req.Cfg.ListPolicy,
+		req.Cfg.ILIMIT, req.Cfg.DisableMarking, req.Cfg.ChargeIndexIO, req.Cfg.DisableClustering)
+	var last int32 = -1
+	for _, v := range srcs {
+		if v == last {
+			continue
+		}
+		last = v
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// execute runs one validated request through cache, single-flight and
+// admission, attributing served work to the metrics.
+func (s *Server) execute(ctx context.Context, req core.Request) (res *core.Result, hit, shared bool, err error) {
+	res, hit, shared, err = s.cache.Do(ctx, cacheKey(req), func() (*core.Result, error) {
+		r, err := s.disp.Submit(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		s.met.PagesServed.Add(r.Metrics.TotalIO())
+		s.met.TuplesServed.Add(r.Metrics.DistinctTuples)
+		return r, nil
+	})
+	if err == nil {
+		switch {
+		case hit:
+			s.met.CacheHits.Add(1)
+		case shared:
+			s.met.Deduplicated.Add(1)
+		default:
+			s.met.CacheMisses.Add(1)
+		}
+	}
+	return res, hit, shared, err
+}
+
+// requestContext applies the effective deadline.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	t := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		t = time.Duration(timeoutMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), t)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.InFlight.Add(1)
+	defer s.met.InFlight.Add(-1)
+	var qr queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+		s.fail(w, badRequest("bad request body: %v", err))
+		return
+	}
+	req, err := s.buildRequest(qr.Algorithm, qr.Sources, qr)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, qr.TimeoutMS)
+	defer cancel()
+	res, hit, shared, err := s.execute(ctx, req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.met.Queries.Add(1)
+	elapsed := time.Since(start)
+	s.met.ObserveLatency(elapsed)
+	resp := queryResponse{
+		Algorithm:       string(req.Alg),
+		Sources:         req.Query.Sources,
+		Cached:          hit,
+		Deduplicated:    shared,
+		ElapsedMS:       float64(elapsed) / float64(time.Millisecond),
+		Metrics:         newMetricRecord(res.Metrics),
+		SuccessorCounts: make(map[int32]int, len(res.Successors)),
+	}
+	for node, succ := range res.Successors {
+		resp.SuccessorCounts[node] = len(succ)
+	}
+	if qr.IncludeSuccessors {
+		resp.Successors = res.Successors
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reachResponse is the reply of GET /v1/reach.
+type reachResponse struct {
+	Src       int32   `json:"src"`
+	Dst       int32   `json:"dst"`
+	Reachable bool    `json:"reachable"`
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	PageIO    int64   `json:"page_io"` // 0 on a cache hit
+}
+
+// handleReach answers src->dst reachability by expanding src's successor
+// set with SRCH — the engine's per-source fast path — and caching it, so a
+// warm source answers any destination with zero page I/O. A node reaches
+// itself only through a cycle, matching closure semantics.
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.InFlight.Add(1)
+	defer s.met.InFlight.Add(-1)
+	src, err1 := parseNode(r.URL.Query().Get("src"))
+	dst, err2 := parseNode(r.URL.Query().Get("dst"))
+	if err1 != nil || err2 != nil {
+		s.fail(w, badRequest("reach needs integer src and dst parameters"))
+		return
+	}
+	req, err := s.buildRequest(string(core.SRCH), []int32{src}, queryRequest{})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if dst < 1 || dst > int32(s.db.N()) {
+		s.fail(w, badRequest("destination node %d outside 1..%d", dst, s.db.N()))
+		return
+	}
+	ctx, cancel := s.requestContext(r, atoiDefault(r.URL.Query().Get("timeout_ms"), 0))
+	defer cancel()
+	res, hit, _, err := s.execute(ctx, req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.met.Reaches.Add(1)
+	elapsed := time.Since(start)
+	s.met.ObserveLatency(elapsed)
+	reachable := false
+	for _, v := range res.Successors[src] {
+		if v == dst {
+			reachable = true
+			break
+		}
+	}
+	var io int64
+	if !hit {
+		io = res.Metrics.TotalIO()
+	}
+	writeJSON(w, http.StatusOK, reachResponse{
+		Src: src, Dst: dst, Reachable: reachable, Cached: hit,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond), PageIO: io,
+	})
+}
+
+// planResponse is the reply of GET /v1/plan.
+type planResponse struct {
+	Profile   planProfile    `json:"profile"`
+	Sources   int            `json:"sources"`
+	BufferM   int            `json:"buffer_pages"`
+	Estimates []planEstimate `json:"estimates"` // cheapest first
+}
+
+type planProfile struct {
+	Nodes     int     `json:"nodes"`
+	Arcs      int     `json:"arcs"`
+	H         float64 `json:"h"`
+	W         float64 `json:"w"`
+	AvgDegree float64 `json:"avg_degree"`
+	Reach     float64 `json:"reach"`
+}
+
+type planEstimate struct {
+	Algorithm string  `json:"algorithm"`
+	IO        float64 `json:"io"`
+	Why       string  `json:"why"`
+}
+
+// handlePlan ranks the algorithms for the loaded graph. The statistical
+// profile (one DFS plus sampled reachability probes) is built on first use
+// and reused for the server's lifetime — the graph is immutable.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.planOnce.Do(func() {
+		arcs, err := s.db.Arcs()
+		if err != nil {
+			s.planErr = err
+			return
+		}
+		s.profile, s.planErr = planner.BuildProfile(graph.New(s.db.N(), arcs), 16, 1)
+	})
+	if s.planErr != nil {
+		s.fail(w, fmt.Errorf("planner profile: %w", s.planErr))
+		return
+	}
+	numSources := atoiDefault(r.URL.Query().Get("sources"), 1)
+	if numSources < 0 {
+		numSources = 0
+	}
+	m := atoiDefault(r.URL.Query().Get("m"), s.opts.DefaultConfig.BufferPages)
+	ests := planner.Estimates(s.profile, numSources, m)
+	resp := planResponse{
+		Profile: planProfile{
+			Nodes: s.profile.N, Arcs: s.profile.Arcs,
+			H: s.profile.H, W: s.profile.W,
+			AvgDegree: s.profile.AvgDegree, Reach: s.profile.Reach,
+		},
+		Sources: numSources,
+		BufferM: m,
+	}
+	for _, e := range ests {
+		resp.Estimates = append(resp.Estimates, planEstimate{Algorithm: string(e.Alg), IO: e.IO, Why: e.Why})
+	}
+	s.met.Plans.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"nodes":          s.db.N(),
+		"arcs":           s.db.NumArcs(),
+		"uptime_seconds": time.Since(s.met.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}
+
+func parseNode(v string) (int32, error) {
+	n, err := strconv.ParseInt(v, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return int32(n), nil
+}
+
+func atoiDefault(v string, def int) int {
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}

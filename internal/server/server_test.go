@@ -1,0 +1,303 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tcstudy/internal/core"
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+)
+
+// newTestServer serves a generated DAG through httptest.
+func newTestServer(t *testing.T, nodes int, opts Options) (*Server, *httptest.Server, *core.Database) {
+	t.Helper()
+	arcs, err := graphgen.Generate(graphgen.Params{Nodes: nodes, OutDegree: 4, Locality: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.NewDatabase(nodes, arcs)
+	s := New(db, opts)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, db
+}
+
+func postQuery(t *testing.T, url string, body any) (*http.Response, queryResponse) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, qr
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestQueryEndpointMatchesEngine(t *testing.T) {
+	_, ts, db := newTestServer(t, 400, Options{})
+	sources := []int32{3, 57, 200}
+	want, err := core.Run(db, core.BJ, core.Query{Sources: sources}, core.Config{BufferPages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, qr := postQuery(t, ts.URL, map[string]any{"algorithm": "bj", "sources": sources})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if qr.Cached {
+		t.Fatal("first query reported cached")
+	}
+	if qr.Metrics.TotalIO != want.Metrics.TotalIO() {
+		t.Fatalf("served I/O %d != engine %d", qr.Metrics.TotalIO, want.Metrics.TotalIO())
+	}
+	if qr.Metrics.DistinctTuples != want.Metrics.DistinctTuples {
+		t.Fatalf("served tuples %d != engine %d", qr.Metrics.DistinctTuples, want.Metrics.DistinctTuples)
+	}
+	for _, src := range sources {
+		if qr.SuccessorCounts[src] != len(want.Successors[src]) {
+			t.Fatalf("successor count of %d: served %d != engine %d",
+				src, qr.SuccessorCounts[src], len(want.Successors[src]))
+		}
+	}
+}
+
+func TestRepeatedQueryServedFromCacheWithoutIO(t *testing.T) {
+	s, ts, _ := newTestServer(t, 400, Options{})
+	body := map[string]any{"algorithm": "srch", "sources": []int32{5, 9}}
+
+	resp, first := postQuery(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK || first.Cached {
+		t.Fatalf("first: status %d cached %t", resp.StatusCode, first.Cached)
+	}
+	pagesAfterMiss := s.Metrics().PagesServed.Load()
+	if pagesAfterMiss == 0 {
+		t.Fatal("miss served no page I/O")
+	}
+
+	resp, second := postQuery(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK || !second.Cached {
+		t.Fatalf("second: status %d cached %t", resp.StatusCode, second.Cached)
+	}
+	if second.Metrics.TotalIO != first.Metrics.TotalIO {
+		t.Fatal("cached reply altered the metric record")
+	}
+	if got := s.Metrics().PagesServed.Load(); got != pagesAfterMiss {
+		t.Fatalf("cache hit performed %d new page I/Os", got-pagesAfterMiss)
+	}
+	if s.Metrics().CacheHits.Load() != 1 || s.Metrics().CacheMisses.Load() != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 1/1",
+			s.Metrics().CacheHits.Load(), s.Metrics().CacheMisses.Load())
+	}
+
+	// Source order and duplicates canonicalize to the same entry.
+	resp, third := postQuery(t, ts.URL, map[string]any{"algorithm": "srch", "sources": []int32{9, 5, 9}})
+	if resp.StatusCode != http.StatusOK || !third.Cached {
+		t.Fatalf("permuted sources missed the cache (status %d cached %t)", resp.StatusCode, third.Cached)
+	}
+}
+
+func TestReachEndpoint(t *testing.T) {
+	// A tiny graph with a known shape: 1->2->3, 4 isolated.
+	db := core.NewDatabase(4, []graph.Arc{{From: 1, To: 2}, {From: 2, To: 3}})
+	s := New(db, Options{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	cases := []struct {
+		src, dst int32
+		want     bool
+	}{
+		{1, 3, true}, {1, 2, true}, {2, 3, true},
+		{3, 1, false}, {4, 1, false}, {1, 1, false}, // acyclic: no self-reach
+	}
+	for _, c := range cases {
+		var rr reachResponse
+		if code := getJSON(t, fmt.Sprintf("%s/v1/reach?src=%d&dst=%d", ts.URL, c.src, c.dst), &rr); code != http.StatusOK {
+			t.Fatalf("reach %d->%d: status %d", c.src, c.dst, code)
+		}
+		if rr.Reachable != c.want {
+			t.Fatalf("reach %d->%d = %t, want %t", c.src, c.dst, rr.Reachable, c.want)
+		}
+	}
+	// A repeated probe from a warm source is a cache hit with zero I/O.
+	var rr reachResponse
+	getJSON(t, ts.URL+"/v1/reach?src=1&dst=2", &rr)
+	if !rr.Cached || rr.PageIO != 0 {
+		t.Fatalf("warm reach: cached=%t io=%d", rr.Cached, rr.PageIO)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, 400, Options{})
+	var pr planResponse
+	if code := getJSON(t, ts.URL+"/v1/plan?sources=3&m=20", &pr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if pr.Profile.Nodes != 400 || pr.Profile.Arcs == 0 {
+		t.Fatalf("bad profile %+v", pr.Profile)
+	}
+	if pr.Sources != 3 || pr.BufferM != 20 {
+		t.Fatalf("params not echoed: %+v", pr)
+	}
+	if len(pr.Estimates) < 5 {
+		t.Fatalf("only %d estimates", len(pr.Estimates))
+	}
+	for i := 1; i < len(pr.Estimates); i++ {
+		if pr.Estimates[i].IO < pr.Estimates[i-1].IO {
+			t.Fatal("estimates not sorted cheapest-first")
+		}
+	}
+	hasSRCH := false
+	for _, e := range pr.Estimates {
+		if e.Algorithm == string(core.SRCH) {
+			hasSRCH = true
+		}
+	}
+	if !hasSRCH {
+		t.Fatal("selective plan omits srch")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t, 100, Options{})
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"unknown algorithm", map[string]any{"algorithm": "nope"}},
+		{"zero source", map[string]any{"algorithm": "srch", "sources": []int32{0}}},
+		{"negative source", map[string]any{"algorithm": "srch", "sources": []int32{-3}}},
+		{"out of range source", map[string]any{"algorithm": "srch", "sources": []int32{101}}},
+		{"tiny buffer", map[string]any{"algorithm": "srch", "sources": []int32{1}, "buffer_pages": 2}},
+		{"bad page policy", map[string]any{"algorithm": "srch", "sources": []int32{1}, "page_policy": "zzz"}},
+		{"bad list policy", map[string]any{"algorithm": "srch", "sources": []int32{1}, "list_policy": "zzz"}},
+	}
+	for _, c := range cases {
+		if resp, _ := postQuery(t, ts.URL, c.body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	// Bad reach parameters.
+	if code := getJSON(t, ts.URL+"/v1/reach?src=x&dst=2", nil); code != http.StatusBadRequest {
+		t.Errorf("bad reach src: status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/reach?src=1&dst=9999", nil); code != http.StatusBadRequest {
+		t.Errorf("out-of-range reach dst: status %d, want 400", code)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts, db := newTestServer(t, 200, Options{})
+	var h struct {
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+		Arcs   int    `json:"arcs"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if h.Status != "ok" || h.Nodes != 200 || h.Arcs != db.NumArcs() {
+		t.Fatalf("healthz %+v", h)
+	}
+
+	postQuery(t, ts.URL, map[string]any{"algorithm": "srch", "sources": []int32{1}})
+	var snap Snapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if snap.Queries != 1 || snap.CacheMisses != 1 || snap.PagesServed == 0 {
+		t.Fatalf("metrics after one query: %+v", snap)
+	}
+	if snap.LatencyMS.Count != 1 {
+		t.Fatalf("latency window has %d samples, want 1", snap.LatencyMS.Count)
+	}
+}
+
+func TestConcurrentIdenticalQueriesRunOnce(t *testing.T) {
+	s, ts, _ := newTestServer(t, 400, Options{Workers: 4})
+	body, _ := json.Marshal(map[string]any{"algorithm": "btc", "sources": []int32{2, 11, 73}})
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if misses := s.Metrics().CacheMisses.Load(); misses != 1 {
+		t.Fatalf("identical concurrent queries executed %d times, want 1", misses)
+	}
+	m := s.Metrics().Snapshot()
+	if m.CacheHits+m.Deduplicated != n-1 {
+		t.Fatalf("hits=%d dedup=%d over %d requests", m.CacheHits, m.Deduplicated, n)
+	}
+}
+
+func TestServerCloseRefusesNewQueries(t *testing.T) {
+	s, ts, _ := newTestServer(t, 100, Options{})
+	postQuery(t, ts.URL, map[string]any{"algorithm": "srch", "sources": []int32{1}})
+	s.Close()
+	// Uncached queries are refused once the dispatcher is closed…
+	resp, _ := postQuery(t, ts.URL, map[string]any{"algorithm": "srch", "sources": []int32{2}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed server returned %d, want 503", resp.StatusCode)
+	}
+	// …but cached results still serve.
+	resp, qr := postQuery(t, ts.URL, map[string]any{"algorithm": "srch", "sources": []int32{1}})
+	if resp.StatusCode != http.StatusOK || !qr.Cached {
+		t.Fatalf("cached read after close: status %d cached %t", resp.StatusCode, qr.Cached)
+	}
+}
