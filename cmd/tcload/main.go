@@ -5,9 +5,15 @@
 // distinct query shapes circulate, which directly sets the attainable
 // cache hit rate.
 //
-// Example (against tcserve -n 2000):
+// The reach workload is tunable for exercising the index fast path
+// against the engine path: -reach sets the fraction of /v1/reach probes
+// and -reachdist picks their src/dst distribution (uniform, zipf for hot
+// sources, local for dst within -reachspan of src).
+//
+// Examples (against tcserve -n 2000):
 //
 //	tcload -addr http://localhost:8080 -duration 10s -qps 200 -reach 0.5
+//	tcload -addr http://localhost:8080 -reach 1 -reachdist zipf -qps 500
 //
 // Rejections (HTTP 429, admission control working as intended) are counted
 // separately from errors. The exit status is nonzero if any request failed
@@ -36,6 +42,8 @@ func main() {
 		qps        = flag.Float64("qps", 100, "target request rate")
 		inflight   = flag.Int("inflight", 64, "max concurrent requests (arrivals beyond it are dropped)")
 		reachFrac  = flag.Float64("reach", 0.5, "fraction of requests that are /v1/reach probes")
+		reachDist  = flag.String("reachdist", "uniform", "reach src/dst distribution: uniform, zipf (hot low-numbered nodes), local (dst near src)")
+		reachSpan  = flag.Int("reachspan", 50, "max |dst-src| for -reachdist local")
 		algs       = flag.String("algs", "srch,bj,btc", "comma-separated algorithms for /v1/query requests")
 		maxSources = flag.Int("maxsources", 4, "max sources per closure query")
 		sourcePool = flag.Int("sourcepool", 16, "distinct query shapes in circulation (smaller = more cache hits)")
@@ -54,6 +62,10 @@ func main() {
 
 	shapes := buildShapes(*algs, nodes, *maxSources, *sourcePool, *m, *seed)
 	rng := rand.New(rand.NewSource(*seed))
+	pickReach, err := reachPicker(*reachDist, *reachSpan, nodes, rng)
+	if err != nil {
+		fatal(err)
+	}
 
 	var (
 		wg      sync.WaitGroup
@@ -74,7 +86,7 @@ func main() {
 		}
 		var op func()
 		if rng.Float64() < *reachFrac {
-			src, dst := int32(rng.Intn(nodes)+1), int32(rng.Intn(nodes)+1)
+			src, dst := pickReach()
 			url := fmt.Sprintf("%s/v1/reach?src=%d&dst=%d", *addr, src, dst)
 			op = func() { stats.observe(doGet(client, url)) }
 		} else {
@@ -100,6 +112,46 @@ func main() {
 	printServerMetrics(client, *addr)
 	if stats.errors.Load() > 0 {
 		os.Exit(1)
+	}
+}
+
+// reachPicker returns the src/dst generator for /v1/reach probes. The
+// distribution shapes how well the server's caches and the reachability
+// index fast path fare: uniform gives no locality at all, zipf
+// concentrates traffic on hot low-numbered sources (a power-law audience),
+// and local keeps dst within -reachspan of src (probes that mostly hit,
+// mimicking neighborhood queries).
+func reachPicker(dist string, span, nodes int, rng *rand.Rand) (func() (int32, int32), error) {
+	uniform := func() int32 { return int32(rng.Intn(nodes) + 1) }
+	switch dist {
+	case "uniform":
+		return func() (int32, int32) { return uniform(), uniform() }, nil
+	case "zipf":
+		imax := uint64(nodes - 1)
+		if nodes < 2 {
+			return func() (int32, int32) { return 1, 1 }, nil
+		}
+		z := rand.NewZipf(rng, 1.2, 1, imax)
+		return func() (int32, int32) {
+			return int32(z.Uint64()) + 1, int32(z.Uint64()) + 1
+		}, nil
+	case "local":
+		if span < 1 {
+			return nil, fmt.Errorf("-reachspan must be positive, got %d", span)
+		}
+		return func() (int32, int32) {
+			src := int(uniform())
+			dst := src + rng.Intn(2*span+1) - span
+			if dst < 1 {
+				dst = 1
+			}
+			if dst > nodes {
+				dst = nodes
+			}
+			return int32(src), int32(dst)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -reachdist %q (have uniform, zipf, local)", dist)
 	}
 }
 

@@ -14,6 +14,11 @@
 //
 //	tcserve -addr :8080 -n 2000 -f 5 -l 200
 //	tcserve -addr :8080 -db /var/lib/tc/db -workers 16 -cache 1024
+//	tcserve -addr :8080 -n 2000 -index g.idx   # O(1) /v1/reach via tcindex build
+//
+// With -index, GET /v1/reach is answered from the prebuilt reachability
+// index (zero page I/O, no engine work); the engine path remains the
+// fallback while the index is absent or stale.
 //
 // SIGINT/SIGTERM shut the server down gracefully: listeners close first,
 // then in-flight and queued queries drain.
@@ -33,6 +38,7 @@ import (
 
 	"tcstudy/internal/core"
 	"tcstudy/internal/graphgen"
+	"tcstudy/internal/index"
 	"tcstudy/internal/server"
 )
 
@@ -51,6 +57,7 @@ func main() {
 		m          = flag.Int("m", 10, "default buffer pool pages per query")
 		pagePolicy = flag.String("pagepolicy", "lru", "default page replacement policy")
 		listPolicy = flag.String("listpolicy", "smallest", "default list replacement policy")
+		indexFile  = flag.String("index", "", "serve /v1/reach from this prebuilt reachability index (tcindex build)")
 	)
 	flag.Parse()
 
@@ -70,6 +77,22 @@ func main() {
 		log.Printf("generated database: n=%d F=%d l=%d seed=%d |G|=%d", *n, *f, *l, *seed, db.NumArcs())
 	}
 
+	var idx *index.Index
+	if *indexFile != "" {
+		var err error
+		if idx, err = index.LoadFile(*indexFile); err != nil {
+			fatal(err)
+		}
+		if idx.N() != db.N() {
+			fatal(fmt.Errorf("index %s covers %d nodes but the database has %d", *indexFile, idx.N(), db.N()))
+		}
+		if idx.Stale() {
+			log.Printf("warning: index %s is stale; /v1/reach will use the engine path", *indexFile)
+		} else {
+			log.Printf("loaded index %s: /v1/reach served in O(1) with zero page I/O", *indexFile)
+		}
+	}
+
 	srv := server.New(db, server.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -80,6 +103,7 @@ func main() {
 			PagePolicy:  *pagePolicy,
 			ListPolicy:  *listPolicy,
 		},
+		Index: idx,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -50,6 +50,38 @@ func (s *Set) Or(t *Set) {
 	}
 }
 
+// And removes from s every element not in t (set intersection). The sets
+// may have different capacities; elements of s beyond t's capacity are
+// removed, matching intersection semantics.
+func (s *Set) And(t *Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &= t.words[i]
+	}
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// Intersects reports whether s and t share at least one element. It
+// short-circuits on the first common word and tolerates sets of different
+// capacities (the overhang cannot intersect).
+func (s *Set) Intersects(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Count reports the number of elements.
 func (s *Set) Count() int {
 	n := 0
@@ -78,6 +110,15 @@ func (s *Set) Clone() *Set {
 	copy(w, s.words)
 	return &Set{words: w}
 }
+
+// Words exposes the underlying word array (element i lives in word i/64,
+// bit i%64). The slice is shared with the set; callers must treat it as
+// read-only. It exists for serialization (internal/index's on-disk format).
+func (s *Set) Words() []uint64 { return s.words }
+
+// FromWords builds a set over the given word array. The slice is adopted,
+// not copied; the capacity is len(words)*64 bits.
+func FromWords(words []uint64) *Set { return &Set{words: words} }
 
 // ForEach calls fn for every element in ascending order.
 func (s *Set) ForEach(fn func(v int32)) {

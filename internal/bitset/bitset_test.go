@@ -115,3 +115,131 @@ func TestMatchesMapProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The tests below cover the edge cases internal/index leans on: its
+// per-node chain sets sit exactly at word boundaries for chain counts of
+// 63/64/65, empty sets flow through intersection during label merges, and
+// Intersects must short-circuit without touching overhang words.
+
+func TestAndBasics(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	for _, v := range []int32{1, 63, 64, 100} {
+		a.Add(v)
+	}
+	for _, v := range []int32{63, 64, 127} {
+		b.Add(v)
+	}
+	a.And(b)
+	var got []int32
+	a.ForEach(func(v int32) { got = append(got, v) })
+	if len(got) != 2 || got[0] != 63 || got[1] != 64 {
+		t.Fatalf("And kept %v, want [63 64]", got)
+	}
+}
+
+func TestAndEmptyAndDifferentCapacity(t *testing.T) {
+	a := New(130)
+	a.Add(0)
+	a.Add(64)
+	a.Add(129)
+	empty := New(130)
+	c := a.Clone()
+	c.And(empty)
+	if c.Count() != 0 {
+		t.Fatalf("intersection with empty set has %d elements", c.Count())
+	}
+	// A shorter t removes everything beyond its capacity.
+	short := New(64)
+	short.Add(0)
+	a.And(short)
+	if !a.Has(0) || a.Has(64) || a.Has(129) || a.Count() != 1 {
+		t.Fatalf("And with shorter set kept wrong elements (count %d)", a.Count())
+	}
+}
+
+func TestIntersectsEmptyAndDisjoint(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	if a.Intersects(b) || b.Intersects(a) {
+		t.Fatal("two empty sets intersect")
+	}
+	a.Add(5)
+	if a.Intersects(b) || b.Intersects(a) {
+		t.Fatal("empty set intersects non-empty")
+	}
+	b.Add(6)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets intersect")
+	}
+	b.Add(5)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("overlapping sets do not intersect")
+	}
+}
+
+func TestIntersectsShortCircuitAndOverhang(t *testing.T) {
+	// Overlap in the first word must be found regardless of later words;
+	// overlap only in s's overhang beyond t's capacity must NOT count.
+	a := New(512)
+	b := New(512)
+	a.Add(0)
+	b.Add(0)
+	a.Add(511)
+	if !a.Intersects(b) {
+		t.Fatal("first-word overlap missed")
+	}
+	short := New(64)
+	longer := New(512)
+	longer.Add(500) // lives past short's last word
+	if longer.Intersects(short) || short.Intersects(longer) {
+		t.Fatal("overhang-only element reported as intersection")
+	}
+	short.Add(63)
+	longer.Add(63)
+	if !longer.Intersects(short) || !short.Intersects(longer) {
+		t.Fatal("boundary element 63 missed across capacities")
+	}
+}
+
+func TestWordBoundarySizes(t *testing.T) {
+	for _, n := range []int{63, 64, 65} {
+		a := New(n)
+		b := New(n)
+		last := int32(n - 1)
+		a.Add(0)
+		a.Add(last)
+		b.Add(last)
+		if !a.Intersects(b) {
+			t.Fatalf("n=%d: Intersects missed last element", n)
+		}
+		a.And(b)
+		if a.Count() != 1 || !a.Has(last) {
+			t.Fatalf("n=%d: And kept count=%d", n, a.Count())
+		}
+		b.Or(a)
+		if !b.Has(last) || b.Count() != 1 {
+			t.Fatalf("n=%d: Or broke at boundary", n)
+		}
+		b.Remove(last)
+		if b.Intersects(a) {
+			t.Fatalf("n=%d: emptied set still intersects", n)
+		}
+	}
+}
+
+func TestWordsFromWordsRoundTrip(t *testing.T) {
+	a := New(130)
+	for _, v := range []int32{0, 63, 64, 65, 129} {
+		a.Add(v)
+	}
+	words := append([]uint64(nil), a.Words()...)
+	b := FromWords(words)
+	if !a.Equal(b) {
+		t.Fatal("FromWords(Words()) round trip lost elements")
+	}
+	b.Add(1)
+	if a.Equal(b) {
+		t.Fatal("copies should be independent")
+	}
+}

@@ -1,0 +1,342 @@
+// Package index provides a persistent reachability index that answers
+// Reach(src,dst) with zero page I/O, the O(1)/O(log k) fast path the
+// serving layer puts in front of the paper's per-query closure engine.
+//
+// The design follows the chain-decomposition line of work (Jagadish;
+// Kritikakis & Tollis, "Fast and Practical DAG Decomposition with
+// Reachability Applications"): the input graph is condensed to its DAG of
+// strongly connected components (graph.Condense), the DAG is covered by
+// vertex-disjoint chains — paths in topological order, so reaching a chain
+// at position p implies reaching every later position — and every DAG node
+// carries a compressed closure label: a bitset over chains it reaches plus,
+// per reached chain, the minimum reachable position. A query then costs one
+// component lookup, one bitset probe (O(1) negative answer) and one binary
+// search over the node's reached chains (O(log k)).
+//
+// The index supports incremental maintenance (InsertArc) in the spirit of
+// Hanauer & Henzinger ("Faster Fully Dynamic Transitive Closure in
+// Practice"): inserts that keep the condensation acyclic are folded into
+// the labels in place; an insert that would create a new cycle among
+// components invalidates every stored topological invariant and instead
+// flags the index stale, at which point callers fall back to the engine
+// path rather than trusting it.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tcstudy/internal/bitset"
+	"tcstudy/internal/graph"
+)
+
+// label is one DAG node's compressed closure: the set of chains it reaches
+// (for O(1) negative answers) and, for each reached chain in ascending
+// chain order, the minimum reachable position. Reaching position p of a
+// chain implies reaching every position > p, because chains are paths.
+type label struct {
+	set    *bitset.Set // chains reached, bit per chain
+	chains []int32     // reached chain ids, sorted ascending
+	minPos []int32     // parallel: minimum reachable position per chain
+}
+
+// lookup returns the minimum reachable position in chain c, or -1 when the
+// label does not reach chain c at all.
+func (l *label) lookup(c int32) int32 {
+	if l.set == nil || !l.set.Has(c) {
+		return -1
+	}
+	i := sort.Search(len(l.chains), func(i int) bool { return l.chains[i] >= c })
+	return l.minPos[i]
+}
+
+// Index is a reachability index over a directed graph on nodes 1..n. It is
+// safe for concurrent use: queries take a read lock, InsertArc a write
+// lock.
+type Index struct {
+	mu sync.RWMutex
+
+	n       int     // original node count
+	numArcs int     // arcs in the indexed graph (updated by InsertArc)
+	comp    []int32 // node -> condensation component, len n+1
+	members [][]int32
+
+	numChains int
+	chainID   []int32   // DAG node -> chain (0-based), len K+1
+	chainPos  []int32   // DAG node -> position within its chain
+	chains    [][]int32 // chain -> DAG nodes in path order
+
+	labels   []label     // per DAG node, len K+1
+	selfLoop *bitset.Set // original nodes with a self-arc
+	stale    bool
+}
+
+// Build constructs the index for g. Cyclic graphs are handled through SCC
+// condensation; self-arcs are recorded so closure semantics (a node reaches
+// itself only through a cycle) are preserved.
+func Build(g *graph.Graph) (*Index, error) {
+	n := g.N()
+	cond := g.Condense()
+	dag := cond.DAG
+	k := dag.N()
+	order, err := dag.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("index: condensation not acyclic: %w", err)
+	}
+
+	x := &Index{
+		n:        n,
+		numArcs:  g.NumArcs(),
+		comp:     cond.Component,
+		members:  cond.Members,
+		chainID:  make([]int32, k+1),
+		chainPos: make([]int32, k+1),
+		labels:   make([]label, k+1),
+		selfLoop: bitset.New(n + 1),
+	}
+	for v := int32(1); v <= int32(n); v++ {
+		if hasArc(g.Children(v), v) {
+			x.selfLoop.Add(v)
+		}
+	}
+
+	// Greedy chain decomposition: walk the DAG in topological order and
+	// append each node to a chain whose current tail is one of its parents,
+	// opening a new chain otherwise. Every chain is a path, so positions
+	// along it order reachability.
+	rev := make([][]int32, k+1)
+	for _, a := range dag.Arcs() {
+		rev[a.To] = append(rev[a.To], a.From)
+	}
+	var tails []int32
+	for i := range x.chainID {
+		x.chainID[i] = -1
+	}
+	for _, v := range order {
+		placed := false
+		for _, p := range rev[v] {
+			c := x.chainID[p]
+			if c >= 0 && tails[c] == p {
+				x.chainID[v] = c
+				x.chainPos[v] = x.chainPos[p] + 1
+				tails[c] = v
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			x.chainID[v] = int32(len(tails))
+			x.chainPos[v] = 0
+			tails = append(tails, v)
+		}
+	}
+	x.numChains = len(tails)
+	x.rebuildChains()
+
+	// Closure labels in reverse topological order: a node reaches, through
+	// each child, the child itself plus everything the child reaches. The
+	// dense scratch array turns the per-node merge into one pass over the
+	// children's compressed labels.
+	dense := make([]int32, x.numChains)
+	for i := range dense {
+		dense[i] = -1
+	}
+	var touched []int32
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, c := range dag.Children(v) {
+			touched = updateMin(dense, touched, x.chainID[c], x.chainPos[c])
+			lc := &x.labels[c]
+			for j, ch := range lc.chains {
+				touched = updateMin(dense, touched, ch, lc.minPos[j])
+			}
+		}
+		x.labels[v] = packLabel(dense, touched, x.numChains)
+		for _, ch := range touched {
+			dense[ch] = -1
+		}
+		touched = touched[:0]
+	}
+	return x, nil
+}
+
+// updateMin folds one (chain, pos) point into the dense scratch array.
+func updateMin(dense []int32, touched []int32, c, pos int32) []int32 {
+	switch cur := dense[c]; {
+	case cur < 0:
+		dense[c] = pos
+		return append(touched, c)
+	case pos < cur:
+		dense[c] = pos
+	}
+	return touched
+}
+
+// packLabel freezes the scratch state into a compressed label.
+func packLabel(dense []int32, touched []int32, numChains int) label {
+	l := label{
+		set:    bitset.New(numChains),
+		chains: make([]int32, len(touched)),
+		minPos: make([]int32, len(touched)),
+	}
+	copy(l.chains, touched)
+	sort.Slice(l.chains, func(a, b int) bool { return l.chains[a] < l.chains[b] })
+	for i, c := range l.chains {
+		l.minPos[i] = dense[c]
+		l.set.Add(c)
+	}
+	return l
+}
+
+// rebuildChains derives the chain -> members-in-order view from the
+// per-node chainID/chainPos columns (also used after Load).
+func (x *Index) rebuildChains() {
+	counts := make([]int32, x.numChains)
+	for d := 1; d < len(x.chainID); d++ {
+		counts[x.chainID[d]]++
+	}
+	x.chains = make([][]int32, x.numChains)
+	for c := range x.chains {
+		x.chains[c] = make([]int32, counts[c])
+	}
+	for d := 1; d < len(x.chainID); d++ {
+		x.chains[x.chainID[d]][x.chainPos[d]] = int32(d)
+	}
+}
+
+func hasArc(children []int32, v int32) bool {
+	i := sort.Search(len(children), func(i int) bool { return children[i] >= v })
+	return i < len(children) && children[i] == v
+}
+
+// N reports the number of nodes in the indexed graph.
+func (x *Index) N() int { return x.n }
+
+// NumArcs reports the number of arcs in the indexed graph, counting arcs
+// accepted by InsertArc since the build.
+func (x *Index) NumArcs() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.numArcs
+}
+
+// Stale reports whether an order-violating insert has invalidated the
+// index. A stale index still answers queries, but the answers reflect the
+// graph before the violating insert; callers should fall back to the
+// engine path.
+func (x *Index) Stale() bool {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.stale
+}
+
+// Reach reports whether src reaches dst, with closure semantics: a node
+// reaches itself only through a cycle (a non-trivial component or a
+// self-arc). Nodes outside 1..n are unreachable by definition.
+func (x *Index) Reach(src, dst int32) bool {
+	if src < 1 || dst < 1 || int(src) > x.n || int(dst) > x.n {
+		return false
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.reachLocked(src, dst)
+}
+
+func (x *Index) reachLocked(src, dst int32) bool {
+	cs, cd := x.comp[src], x.comp[dst]
+	if cs == cd {
+		if src != dst {
+			return true // same non-trivial strongly connected component
+		}
+		return len(x.members[cs]) > 1 || x.selfLoop.Has(src)
+	}
+	return x.dagReach(cs, cd)
+}
+
+// dagReach reports whether component a reaches component b (a != b) via a
+// path of length >= 1 in the condensation DAG: O(1) on the chain bitset
+// for a negative answer, O(log k) on the label otherwise.
+func (x *Index) dagReach(a, b int32) bool {
+	p := x.labels[a].lookup(x.chainID[b])
+	return p >= 0 && p <= x.chainPos[b]
+}
+
+// Successors returns every node reachable from src (closure semantics),
+// sorted ascending. It enumerates the label's chains: reaching position p
+// of a chain means reaching all of its members from p on.
+func (x *Index) Successors(src int32) []int32 {
+	if src < 1 || int(src) > x.n {
+		return nil
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []int32
+	cs := x.comp[src]
+	if len(x.members[cs]) > 1 {
+		out = append(out, x.members[cs]...)
+	} else if x.selfLoop.Has(src) {
+		out = append(out, src)
+	}
+	lb := &x.labels[cs]
+	for j, c := range lb.chains {
+		chain := x.chains[c]
+		for p := lb.minPos[j]; p < int32(len(chain)); p++ {
+			out = append(out, x.members[chain[p]]...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats summarizes the index shape for inspection tooling.
+type Stats struct {
+	Nodes        int     // original nodes
+	Arcs         int     // arcs in the indexed graph
+	Components   int     // condensation DAG nodes
+	Chains       int     // chain count k (label width)
+	LabelEntries int     // total (chain, minPos) pairs across all labels
+	AvgLabel     float64 // label entries per DAG node
+	ChainOverlap float64 // fraction of sampled label pairs whose chain sets intersect
+	Stale        bool
+}
+
+// ComputeStats derives the summary. ChainOverlap samples up to 64
+// components and measures, with bitset.Intersects, how often two labels
+// share at least one chain — a proxy for how much the chain compression is
+// actually shared across the graph.
+func (x *Index) ComputeStats() Stats {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	k := len(x.labels) - 1
+	st := Stats{
+		Nodes:      x.n,
+		Arcs:       x.numArcs,
+		Components: k,
+		Chains:     x.numChains,
+		Stale:      x.stale,
+	}
+	for d := 1; d <= k; d++ {
+		st.LabelEntries += len(x.labels[d].chains)
+	}
+	if k > 0 {
+		st.AvgLabel = float64(st.LabelEntries) / float64(k)
+	}
+	sample := k
+	if sample > 64 {
+		sample = 64
+	}
+	pairs, hits := 0, 0
+	for a := 1; a <= sample; a++ {
+		for b := a + 1; b <= sample; b++ {
+			pairs++
+			if x.labels[a].set.Intersects(x.labels[b].set) {
+				hits++
+			}
+		}
+	}
+	if pairs > 0 {
+		st.ChainOverlap = float64(hits) / float64(pairs)
+	}
+	return st
+}

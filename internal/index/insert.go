@@ -1,0 +1,128 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStale is returned by InsertArc for an insert the index cannot fold in
+// place: the arc closes a cycle among condensation components, so every
+// stored topological invariant (component identity, chain positions) is
+// violated. The index is flagged stale; callers fall back to the engine
+// path or rebuild.
+var ErrStale = errors.New("index: insert creates a component cycle; index is stale")
+
+// InsertArc folds the arc (u,v) into the index in place. Inserts that
+// respect the condensation's topological order — they do not make v's
+// component reach u's — cost one label-merge sweep over the components
+// that reach u; the chain structure is untouched, because reachability
+// only grows and chain positions keep ordering it. A cycle-creating insert
+// flags the index stale and returns ErrStale. A stale index rejects all
+// further inserts.
+func (x *Index) InsertArc(u, v int32) error {
+	if u < 1 || v < 1 || int(u) > x.n || int(v) > x.n {
+		return fmt.Errorf("index: arc (%d,%d) outside 1..%d", u, v, x.n)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.stale {
+		return ErrStale
+	}
+	if u == v {
+		x.selfLoop.Add(u)
+		x.numArcs++
+		return nil
+	}
+	cu, cv := x.comp[u], x.comp[v]
+	if cu == cv {
+		// Both endpoints already share a (non-trivial) component; the arc
+		// adds no reachability.
+		x.numArcs++
+		return nil
+	}
+	if x.dagReach(cv, cu) {
+		// v already reaches u, so u->v merges components: order-violating.
+		x.stale = true
+		return ErrStale
+	}
+	x.numArcs++
+	if x.dagReach(cu, cv) {
+		return nil // already reachable; labels are transitively closed
+	}
+
+	// Contribution of the new arc: cv itself plus everything cv reaches,
+	// as one dense (chain -> minPos) view.
+	dense := make([]int32, x.numChains)
+	for i := range dense {
+		dense[i] = -1
+	}
+	var touched []int32
+	touched = updateMin(dense, touched, x.chainID[cv], x.chainPos[cv])
+	lv := &x.labels[cv]
+	for j, ch := range lv.chains {
+		touched = updateMin(dense, touched, ch, lv.minPos[j])
+	}
+	cont := packLabel(dense, touched, x.numChains)
+
+	// Every component that reaches cu (and cu itself) gains the
+	// contribution. Membership is answered by the index itself in
+	// O(log k) per candidate.
+	for d := int32(1); d < int32(len(x.labels)); d++ {
+		if d == cu || x.dagReach(d, cu) {
+			x.mergeLabel(d, &cont)
+		}
+	}
+	return nil
+}
+
+// mergeLabel folds contribution cont into component d's label: a sorted
+// two-pointer merge taking the position minimum on common chains.
+func (x *Index) mergeLabel(d int32, cont *label) {
+	ld := &x.labels[d]
+	if !ld.set.Intersects(cont.set) {
+		// Disjoint chain sets: plain concatenation-merge, no minimums to
+		// reconcile — the common case when the insert bridges two regions.
+		merged := make([]int32, 0, len(ld.chains)+len(cont.chains))
+		pos := make([]int32, 0, len(ld.chains)+len(cont.chains))
+		i, j := 0, 0
+		for i < len(ld.chains) && j < len(cont.chains) {
+			if ld.chains[i] < cont.chains[j] {
+				merged, pos = append(merged, ld.chains[i]), append(pos, ld.minPos[i])
+				i++
+			} else {
+				merged, pos = append(merged, cont.chains[j]), append(pos, cont.minPos[j])
+				j++
+			}
+		}
+		merged = append(merged, ld.chains[i:]...)
+		pos = append(pos, ld.minPos[i:]...)
+		merged = append(merged, cont.chains[j:]...)
+		pos = append(pos, cont.minPos[j:]...)
+		ld.chains, ld.minPos = merged, pos
+		ld.set.Or(cont.set)
+		return
+	}
+	merged := make([]int32, 0, len(ld.chains)+len(cont.chains))
+	pos := make([]int32, 0, len(ld.chains)+len(cont.chains))
+	i, j := 0, 0
+	for i < len(ld.chains) || j < len(cont.chains) {
+		switch {
+		case j == len(cont.chains) || (i < len(ld.chains) && ld.chains[i] < cont.chains[j]):
+			merged, pos = append(merged, ld.chains[i]), append(pos, ld.minPos[i])
+			i++
+		case i == len(ld.chains) || cont.chains[j] < ld.chains[i]:
+			merged, pos = append(merged, cont.chains[j]), append(pos, cont.minPos[j])
+			j++
+		default: // same chain: keep the earlier position
+			p := ld.minPos[i]
+			if cont.minPos[j] < p {
+				p = cont.minPos[j]
+			}
+			merged, pos = append(merged, ld.chains[i]), append(pos, p)
+			i++
+			j++
+		}
+	}
+	ld.chains, ld.minPos = merged, pos
+	ld.set.Or(cont.set)
+}

@@ -22,6 +22,7 @@ type Metrics struct {
 	// Outcome counters.
 	CacheHits    atomic.Int64 // answered straight from the result cache
 	CacheMisses  atomic.Int64 // executed by the engine
+	IndexHits    atomic.Int64 // /v1/reach answered by the reachability index
 	Deduplicated atomic.Int64 // coalesced onto an identical in-flight query
 	Rejected     atomic.Int64 // 429: admission queue full
 	Timeouts     atomic.Int64 // 504: request deadline expired
@@ -58,6 +59,7 @@ type Snapshot struct {
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	IndexHits    int64   `json:"index_hits"`
 	Deduplicated int64   `json:"deduplicated"`
 	Rejected     int64   `json:"rejected"`
 	Timeouts     int64   `json:"timeouts"`
@@ -92,6 +94,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Plans:         m.Plans.Load(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
+		IndexHits:     m.IndexHits.Load(),
 		Deduplicated:  m.Deduplicated.Load(),
 		Rejected:      m.Rejected.Load(),
 		Timeouts:      m.Timeouts.Load(),

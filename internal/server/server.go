@@ -32,6 +32,7 @@ import (
 	"tcstudy/internal/buffer"
 	"tcstudy/internal/core"
 	"tcstudy/internal/graph"
+	"tcstudy/internal/index"
 	"tcstudy/internal/planner"
 	"tcstudy/internal/slist"
 )
@@ -53,6 +54,11 @@ type Options struct {
 	// DefaultConfig supplies engine configuration fields a request leaves
 	// unset (buffer pages, policies).
 	DefaultConfig core.Config
+	// Index, when set, answers GET /v1/reach from the prebuilt
+	// reachability index with zero page I/O and no engine work. The engine
+	// path remains the fallback when the index is absent or stale. It must
+	// cover the same node space as the database.
+	Index *index.Index
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +92,7 @@ type Server struct {
 	opts  Options
 	disp  *dispatcher
 	cache *resultCache
+	idx   *index.Index
 	met   *Metrics
 	mux   *http.ServeMux
 	algs  map[core.Algorithm]bool
@@ -103,6 +110,7 @@ func New(db *core.Database, opts Options) *Server {
 		opts:  opts,
 		disp:  newDispatcher(db, opts.Workers, opts.QueueDepth),
 		cache: newResultCache(opts.CacheEntries),
+		idx:   opts.Index,
 		met:   NewMetrics(),
 		mux:   http.NewServeMux(),
 		algs:  make(map[core.Algorithm]bool),
@@ -423,14 +431,17 @@ type reachResponse struct {
 	Dst       int32   `json:"dst"`
 	Reachable bool    `json:"reachable"`
 	Cached    bool    `json:"cached"`
+	IndexHit  bool    `json:"index_hit,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
-	PageIO    int64   `json:"page_io"` // 0 on a cache hit
+	PageIO    int64   `json:"page_io"` // 0 on a cache hit or index hit
 }
 
-// handleReach answers src->dst reachability by expanding src's successor
-// set with SRCH — the engine's per-source fast path — and caching it, so a
-// warm source answers any destination with zero page I/O. A node reaches
-// itself only through a cycle, matching closure semantics.
+// handleReach answers src->dst reachability. With a loaded reachability
+// index (and while it is not stale) the answer is an O(1)/O(log k) label
+// probe with zero page I/O and no engine involvement. Otherwise it expands
+// src's successor set with SRCH — the engine's per-source fast path — and
+// caches it, so a warm source answers any destination with zero page I/O.
+// A node reaches itself only through a cycle, matching closure semantics.
 func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.met.InFlight.Add(1)
@@ -439,6 +450,26 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	dst, err2 := parseNode(r.URL.Query().Get("dst"))
 	if err1 != nil || err2 != nil {
 		s.fail(w, badRequest("reach needs integer src and dst parameters"))
+		return
+	}
+	if s.idx != nil && !s.idx.Stale() {
+		if src < 1 || src > int32(s.db.N()) {
+			s.fail(w, badRequest("source node %d outside 1..%d", src, s.db.N()))
+			return
+		}
+		if dst < 1 || dst > int32(s.db.N()) {
+			s.fail(w, badRequest("destination node %d outside 1..%d", dst, s.db.N()))
+			return
+		}
+		reachable := s.idx.Reach(src, dst)
+		s.met.IndexHits.Add(1)
+		s.met.Reaches.Add(1)
+		elapsed := time.Since(start)
+		s.met.ObserveLatency(elapsed)
+		writeJSON(w, http.StatusOK, reachResponse{
+			Src: src, Dst: dst, Reachable: reachable, IndexHit: true,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		})
 		return
 	}
 	req, err := s.buildRequest(string(core.SRCH), []int32{src}, queryRequest{})
