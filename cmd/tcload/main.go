@@ -49,8 +49,11 @@ func main() {
 		sourcePool = flag.Int("sourcepool", 16, "distinct query shapes in circulation (smaller = more cache hits)")
 		m          = flag.Int("m", 0, "buffer pages per query (0 = server default)")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		retries    = flag.Int("retries", 2, "retry attempts for transient 503 responses and transport errors")
+		backoff    = flag.Duration("backoff", 25*time.Millisecond, "initial retry backoff (doubles per attempt)")
 	)
 	flag.Parse()
+	retryPolicy = retrier{max: *retries, backoff: *backoff}
 
 	client := &http.Client{Timeout: 60 * time.Second}
 	nodes, err := fetchNodes(client, *addr)
@@ -197,19 +200,54 @@ func buildShapes(algs string, nodes, maxSources, pool int, m int, seed int64) []
 type outcome struct {
 	latency time.Duration
 	status  int
+	retries int // retry attempts consumed before this outcome
 	err     error
 }
 
+// retrier retries transient failures — 503 (a storage fault under the
+// engine, per the server's error contract) and transport errors — with
+// exponential backoff. 429 and 504 are not retried: they are the server's
+// overload and deadline signals, and hammering them defeats admission
+// control.
+type retrier struct {
+	max     int
+	backoff time.Duration
+}
+
+// retryPolicy is set from flags before any traffic is generated.
+var retryPolicy retrier
+
+func (r retrier) do(attempt func() outcome) outcome {
+	o := attempt()
+	delay := r.backoff
+	for try := 0; try < r.max && retryable(o); try++ {
+		time.Sleep(delay)
+		delay *= 2
+		n := o.retries + 1
+		o = attempt()
+		o.retries = n
+	}
+	return o
+}
+
+func retryable(o outcome) bool {
+	return o.err != nil || o.status == http.StatusServiceUnavailable
+}
+
 func doGet(c *http.Client, url string) outcome {
-	start := time.Now()
-	resp, err := c.Get(url)
-	return finish(start, resp, err)
+	return retryPolicy.do(func() outcome {
+		start := time.Now()
+		resp, err := c.Get(url)
+		return finish(start, resp, err)
+	})
 }
 
 func doPost(c *http.Client, url string, body []byte) outcome {
-	start := time.Now()
-	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
-	return finish(start, resp, err)
+	return retryPolicy.do(func() outcome {
+		start := time.Now()
+		resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+		return finish(start, resp, err)
+	})
 }
 
 func finish(start time.Time, resp *http.Response, err error) outcome {
@@ -229,12 +267,15 @@ type collector struct {
 	ok        atomic.Int64
 	rejected  atomic.Int64 // 429: admission control
 	timeouts  atomic.Int64 // 504: deadline expiry
+	faults    atomic.Int64 // 503 after retries exhausted: storage faults
+	retried   atomic.Int64 // retry attempts consumed (successful or not)
 	errors    atomic.Int64 // transport errors + unexpected statuses
 }
 
 func newCollector() *collector { return &collector{} }
 
 func (c *collector) observe(o outcome) {
+	c.retried.Add(int64(o.retries))
 	switch {
 	case o.err != nil:
 		c.errors.Add(1)
@@ -245,6 +286,9 @@ func (c *collector) observe(o outcome) {
 		c.rejected.Add(1)
 	case o.status == http.StatusGatewayTimeout:
 		c.timeouts.Add(1)
+	case o.status == http.StatusServiceUnavailable:
+		c.faults.Add(1)
+		return
 	default:
 		c.errors.Add(1)
 		return
@@ -259,11 +303,13 @@ func (c *collector) report(d time.Duration, dropped int64) {
 	lats := append([]time.Duration(nil), c.latencies...)
 	c.mu.Unlock()
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	total := c.ok.Load() + c.rejected.Load() + c.timeouts.Load() + c.errors.Load()
+	total := c.ok.Load() + c.rejected.Load() + c.timeouts.Load() + c.faults.Load() + c.errors.Load()
 	fmt.Printf("\nrequests      %d (%.1f/s achieved)\n", total, float64(total)/d.Seconds())
 	fmt.Printf("ok            %d\n", c.ok.Load())
 	fmt.Printf("rejected 429  %d\n", c.rejected.Load())
 	fmt.Printf("timeout 504   %d\n", c.timeouts.Load())
+	fmt.Printf("faulted 503   %d (after retries)\n", c.faults.Load())
+	fmt.Printf("retried       %d attempts\n", c.retried.Load())
 	fmt.Printf("errors        %d\n", c.errors.Load())
 	fmt.Printf("dropped       %d (local inflight cap)\n", dropped)
 	if len(lats) > 0 {

@@ -62,11 +62,12 @@ func (s Stats) Sub(t Stats) Stats {
 	}
 }
 
-// Pool is a buffer pool of fixed size over a simulated disk. Pages are
-// pinned by Get and released by Unpin; pinned pages are never evicted.
+// Pool is a buffer pool of fixed size over a page store (the simulated
+// disk, or a fault-injecting wrapper around it). Pages are pinned by Get
+// and released by Unpin; pinned pages are never evicted.
 // The pool is not safe for concurrent use.
 type Pool struct {
-	disk   *pagedisk.Disk
+	disk   pagedisk.Store
 	frames []frame
 	table  map[key]int
 	policy Policy
@@ -75,7 +76,7 @@ type Pool struct {
 
 // New creates a pool of size frames over disk using the given replacement
 // policy. Size must be at least 1.
-func New(disk *pagedisk.Disk, size int, policy Policy) *Pool {
+func New(disk pagedisk.Store, size int, policy Policy) *Pool {
 	if size < 1 {
 		panic("buffer: pool size must be at least 1")
 	}
@@ -90,8 +91,8 @@ func New(disk *pagedisk.Disk, size int, policy Policy) *Pool {
 // Size reports the number of frames in the pool.
 func (p *Pool) Size() int { return len(p.frames) }
 
-// Disk returns the underlying disk.
-func (p *Pool) Disk() *pagedisk.Disk { return p.disk }
+// Disk returns the underlying page store.
+func (p *Pool) Disk() pagedisk.Store { return p.disk }
 
 // Stats returns cumulative hit/miss/eviction counters.
 func (p *Pool) Stats() Stats { return p.stats }
@@ -202,7 +203,10 @@ func (p *Pool) Get(f pagedisk.FileID, pg pagedisk.PageID) (Handle, error) {
 // and returns its ID with the handle. No read I/O is charged; the page is
 // written when flushed or evicted.
 func (p *Pool) GetNew(f pagedisk.FileID) (pagedisk.PageID, Handle, error) {
-	pg := p.disk.Allocate(f)
+	pg, err := p.disk.Allocate(f)
+	if err != nil {
+		return pagedisk.InvalidPage, Handle{}, err
+	}
 	i, err := p.freeFrame()
 	if err != nil {
 		return pagedisk.InvalidPage, Handle{}, err
@@ -309,6 +313,22 @@ func (p *Pool) DiscardFile(f pagedisk.FileID) {
 		fr.valid = false
 		fr.dirty = false
 		fr.fresh = false
+	}
+}
+
+// Reset discards every frame — pinned, dirty or clean — without any
+// write-back, returning the pool to its freshly-created state. It exists
+// for fault recovery: after a storage error aborts a computation mid-run,
+// pins may be outstanding and dirty frames may hold pages of temporary
+// files the caller is about to drop. Any handle obtained before Reset is
+// invalid afterwards and must not be used.
+func (p *Pool) Reset() {
+	for i := range p.frames {
+		if p.frames[i].valid {
+			delete(p.table, p.frames[i].key)
+			p.policy.Removed(i)
+		}
+		p.frames[i] = frame{}
 	}
 }
 

@@ -22,7 +22,7 @@ func newPool(t *testing.T, size int, policy string) (*Pool, *pagedisk.Disk, page
 func fill(t *testing.T, d *pagedisk.Disk, f pagedisk.FileID, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
-		p := d.Allocate(f)
+		p, _ := d.Allocate(f)
 		var pg pagedisk.Page
 		pg[0] = byte(i)
 		if err := d.Write(f, p, &pg); err != nil {
@@ -255,7 +255,7 @@ func TestFreshPageEvictionPersists(t *testing.T) {
 	}
 	h.Data()[0] = 9
 	p.Unpin(&h, false) // not marked dirty, but fresh pages must still persist
-	fill2 := d.Allocate(f)
+	fill2, _ := d.Allocate(f)
 	var z pagedisk.Page
 	if err := d.Write(f, fill2, &z); err != nil {
 		t.Fatal(err)
@@ -415,7 +415,7 @@ func TestTwoPoolsAttributeIOSeparately(t *testing.T) {
 	d := pagedisk.New()
 	f := d.CreateFile("data")
 	for i := 0; i < 4; i++ {
-		p := d.Allocate(f)
+		p, _ := d.Allocate(f)
 		var pg pagedisk.Page
 		if err := d.Write(f, p, &pg); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"tcstudy/internal/graph"
+)
+
+// bfsReference computes every node's successor set by plain breadth-first
+// search over an adjacency list. It deliberately shares nothing with the
+// engine or with graph.Closure's bitset machinery: a third, independent
+// implementation, so agreement means the answer is right rather than that
+// two implementations share a bug.
+func bfsReference(n int, arcs []graph.Arc) map[int32][]int32 {
+	adj := make([][]int32, n+1)
+	for _, a := range arcs {
+		adj[a.From] = append(adj[a.From], a.To)
+	}
+	out := make(map[int32][]int32, n)
+	seen := make([]int32, n+1)
+	var stamp int32
+	queue := make([]int32, 0, n)
+	for src := int32(1); src <= int32(n); src++ {
+		stamp++
+		queue = append(queue[:0], src)
+		var reach []int32
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if seen[w] == stamp {
+					continue
+				}
+				seen[w] = stamp
+				reach = append(reach, w)
+				queue = append(queue, w)
+			}
+		}
+		sort.Slice(reach, func(i, j int) bool { return reach[i] < reach[j] })
+		out[src] = reach
+	}
+	return out
+}
+
+// TestDifferentialAgainstBFS runs every implemented algorithm — the seven
+// candidates and the related-work baselines — against the BFS reference on
+// 50 seeded DAGs of varying shape, each at both a tiny (4-page) and the
+// paper-default (10-page) buffer pool. Short mode caps the grid.
+func TestDifferentialAgainstBFS(t *testing.T) {
+	nSeeds := 50
+	if testing.Short() {
+		nSeeds = 8
+	}
+	pools := []int{4, 10}
+	for i := 0; i < nSeeds; i++ {
+		seed := int64(3000 + i)
+		n := 50 + (i%5)*20       // 50..130 nodes
+		f := 2 + i%4             // out-degree 2..5
+		l := 10 + (i%3)*20       // locality 10, 30, 50
+		g, db := randomDAG(t, seed, n, f, l)
+		want := bfsReference(n, g.Arcs())
+		for _, m := range pools {
+			for _, alg := range Algorithms() {
+				res, err := Run(db, alg, Query{}, Config{BufferPages: m})
+				if err != nil {
+					t.Fatalf("seed=%d n=%d f=%d l=%d m=%d: %s failed: %v", seed, n, f, l, m, alg, err)
+				}
+				for v := int32(1); v <= int32(n); v++ {
+					got := sorted(res.Successors[v])
+					w := want[v]
+					if len(got) != len(w) {
+						t.Fatalf("seed=%d n=%d f=%d l=%d m=%d: %s: node %d has %d successors, BFS says %d",
+							seed, n, f, l, m, alg, v, len(got), len(w))
+					}
+					for j := range w {
+						if got[j] != w[j] {
+							t.Fatalf("seed=%d n=%d f=%d l=%d m=%d: %s: successors of %d differ at rank %d: got %d, want %d",
+								seed, n, f, l, m, alg, v, j, got[j], w[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -82,9 +82,11 @@ func (c Config) withDefaults() Config {
 // Database is the stored input: the graph relation clustered and indexed on
 // the source attribute, and the dual (inverse) relation clustered and
 // indexed on the destination attribute used by JKB2 (Section 4.1). Both
-// live on one simulated disk; building them is not charged to queries.
+// live on one page store — normally the simulated disk, optionally wrapped
+// with fault injection via SwapStore; building them is not charged to
+// queries.
 type Database struct {
-	disk *pagedisk.Disk
+	disk pagedisk.Store
 	rel  *relation.Relation
 	inv  *relation.Relation
 	// wcol is the arc-weight column of a weighted database (nil for the
@@ -153,6 +155,21 @@ func NewDatabaseWeighted(n int, arcs []graph.Arc, weight func(graph.Arc) int32) 
 
 // Weighted reports whether the database carries arc weights.
 func (db *Database) Weighted() bool { return db.wcol != nil }
+
+// Store exposes the page store queries run against.
+func (db *Database) Store() pagedisk.Store { return db.disk }
+
+// SwapStore replaces the database's page store and returns the previous
+// one. Its intended use is layering fault injection over an already-built
+// database (wrap the current store with faultdisk, swap it in, and swap
+// the original back to return to clean operation); the replacement must
+// present the same files and pages. Swapping while queries are in flight
+// is the caller's race to avoid.
+func (db *Database) SwapStore(s pagedisk.Store) pagedisk.Store {
+	old := db.disk
+	db.disk = s
+	return old
+}
 
 // N reports the number of nodes in the stored graph.
 func (db *Database) N() int { return db.n }

@@ -19,7 +19,7 @@ func TestInjectedIOFailuresSurface(t *testing.T) {
 	for _, alg := range Algorithms() {
 		t.Run(string(alg), func(t *testing.T) {
 			// Find the failure-free I/O volume first.
-			db.disk.FailAfter(-1)
+			db.disk.(*pagedisk.Disk).FailAfter(-1)
 			res, err := Run(db, alg, Query{Sources: sources}, Config{BufferPages: 8, ILIMIT: 0.3})
 			if err != nil {
 				t.Fatal(err)
@@ -32,9 +32,9 @@ func TestInjectedIOFailuresSurface(t *testing.T) {
 			// answer extraction (beyond the measured I/O count).
 			points := []int64{0, 1, total / 4, total / 2, total - 1, total + 2}
 			for _, p := range points {
-				db.disk.FailAfter(p)
+				db.disk.(*pagedisk.Disk).FailAfter(p)
 				_, err := Run(db, alg, Query{Sources: sources}, Config{BufferPages: 8, ILIMIT: 0.3})
-				db.disk.FailAfter(-1)
+				db.disk.(*pagedisk.Disk).FailAfter(-1)
 				if err == nil {
 					// Extraction I/O past `total` may legitimately
 					// succeed if fewer post-run reads were needed.
@@ -49,24 +49,24 @@ func TestInjectedIOFailuresSurface(t *testing.T) {
 			}
 		})
 	}
-	db.disk.FailAfter(-1)
+	db.disk.(*pagedisk.Disk).FailAfter(-1)
 }
 
 // TestFailureDuringFullClosure exercises the CTC paths under injection.
 func TestFailureDuringFullClosure(t *testing.T) {
 	_, db := randomDAG(t, 602, 100, 4, 25)
 	for _, alg := range Algorithms() {
-		db.disk.FailAfter(-1)
+		db.disk.(*pagedisk.Disk).FailAfter(-1)
 		res, err := Run(db, alg, Query{}, Config{BufferPages: 8, ILIMIT: 0.2})
 		if err != nil {
 			t.Fatal(err)
 		}
 		mid := res.Metrics.TotalIO() / 2
-		db.disk.FailAfter(mid)
+		db.disk.(*pagedisk.Disk).FailAfter(mid)
 		if _, err := Run(db, alg, Query{}, Config{BufferPages: 8, ILIMIT: 0.2}); !errors.Is(err, pagedisk.ErrIOInjected) {
 			t.Fatalf("%s: mid-run failure returned %v", alg, err)
 		}
-		db.disk.FailAfter(-1)
+		db.disk.(*pagedisk.Disk).FailAfter(-1)
 	}
 }
 
@@ -76,9 +76,9 @@ func TestRecoveryAfterFailure(t *testing.T) {
 	g, db := randomDAG(t, 603, 100, 4, 25)
 	want := refSuccessors(t, g, nil)
 	for _, alg := range []Algorithm{BTC, SPN, JKB2, SEMI, WARREN} {
-		db.disk.FailAfter(50)
+		db.disk.(*pagedisk.Disk).FailAfter(50)
 		_, _ = Run(db, alg, Query{}, Config{BufferPages: 8})
-		db.disk.FailAfter(-1)
+		db.disk.(*pagedisk.Disk).FailAfter(-1)
 		res, err := Run(db, alg, Query{}, Config{BufferPages: 8})
 		if err != nil {
 			t.Fatalf("%s after failed run: %v", alg, err)

@@ -31,9 +31,15 @@ type manifest struct {
 
 const manifestVersion = 1
 
-// SaveDatabase writes the database into dir (created if needed).
+// SaveDatabase writes the database into dir (created if needed). The
+// database must be backed by the plain simulated disk: snapshotting a
+// fault-wrapped store would capture whatever the wrapper let through.
 func SaveDatabase(db *Database, dir string) error {
-	if err := db.disk.Save(dir); err != nil {
+	disk, ok := db.disk.(*pagedisk.Disk)
+	if !ok {
+		return fmt.Errorf("core: cannot snapshot a database on a %T store; swap the plain disk back first", db.disk)
+	}
+	if err := disk.Save(dir); err != nil {
 		return err
 	}
 	f, err := os.Create(filepath.Join(dir, manifestName))

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"tcstudy/internal/buffer"
@@ -16,20 +15,20 @@ import (
 // resident. Each query still gets its own full metric record (attributed
 // by counter deltas, so the shared pool does not blur accounting).
 //
-// A session is not safe for concurrent use. After a query returns an I/O
-// error the session is broken (buffer pins may be outstanding) and refuses
-// further queries; the database itself remains usable through new sessions
-// or Run.
+// A session is not safe for concurrent use. A query that fails with a
+// storage error does not poison the session: the pool is reset (dropping
+// any pins and dirty pages the aborted run left behind — they belong to
+// its temporary files), the temporaries are released, and the next query
+// runs from a cold pool against the intact database. The only cost of a
+// fault is the lost warmth.
 type Session struct {
-	db     *Database
-	cfg    Config
-	pool   *buffer.Pool
-	broken bool
+	db   *Database
+	cfg  Config
+	pool *buffer.Pool
+	// faults counts queries that failed with a storage error and were
+	// recovered from (for tests and operational visibility).
+	faults int64
 }
-
-// ErrSessionBroken is returned by Session.Run after a previous query
-// failed.
-var ErrSessionBroken = errors.New("core: session broken by an earlier error")
 
 // NewSession validates the configuration and opens a session.
 func NewSession(db *Database, cfg Config) (*Session, error) {
@@ -54,11 +53,12 @@ func NewSession(db *Database, cfg Config) (*Session, error) {
 // Pool exposes the session's buffer pool (for tests and instrumentation).
 func (s *Session) Pool() *buffer.Pool { return s.pool }
 
+// Faults reports how many queries failed with an error and were recovered
+// from.
+func (s *Session) Faults() int64 { return s.faults }
+
 // Run executes one query within the session.
 func (s *Session) Run(alg Algorithm, q Query) (*Result, error) {
-	if s.broken {
-		return nil, ErrSessionBroken
-	}
 	listPol, err := slist.NewListPolicy(s.cfg.ListPolicy)
 	if err != nil {
 		return nil, err
@@ -71,9 +71,16 @@ func (s *Session) Run(alg Algorithm, q Query) (*Result, error) {
 	baseFiles := s.db.disk.NumFiles()
 	res, err := execute(s.db, s.pool, listPol, alg, q, s.cfg)
 	if err != nil {
-		// Error paths can leave pages pinned; retire the session rather
-		// than risk a slow frame leak.
-		s.broken = true
+		// The aborted run can leave pages pinned and dirty frames holding
+		// its temporaries. Drop every frame — the base relations are
+		// read-only during queries, so nothing durable is lost — and
+		// release the temporary files. The session stays usable; the next
+		// query simply starts cold.
+		s.faults++
+		s.pool.Reset()
+		for id := baseFiles; id < s.db.disk.NumFiles(); id++ {
+			s.db.disk.Truncate(pagedisk.FileID(id))
+		}
 		return nil, err
 	}
 	// Release this query's temporary files: drop their buffered pages,

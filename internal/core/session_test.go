@@ -80,8 +80,9 @@ func TestSessionReleasesTemporaryStorage(t *testing.T) {
 	}
 }
 
-func TestSessionBreaksOnError(t *testing.T) {
-	_, db := randomDAG(t, 704, 150, 4, 30)
+func TestSessionRecoversFromStorageFault(t *testing.T) {
+	g, db := randomDAG(t, 704, 150, 4, 30)
+	disk := db.Store().(*pagedisk.Disk)
 	s, err := NewSession(db, Config{BufferPages: 8})
 	if err != nil {
 		t.Fatal(err)
@@ -89,40 +90,45 @@ func TestSessionBreaksOnError(t *testing.T) {
 	if _, err := s.Run(BTC, Query{}); err != nil {
 		t.Fatal(err)
 	}
-	db.disk.FailAfter(10)
-	if _, err := s.Run(BTC, Query{}); err == nil {
-		t.Fatal("injected failure not surfaced")
+	disk.FailAfter(10)
+	if _, err := s.Run(BTC, Query{}); !errors.Is(err, pagedisk.ErrIOInjected) {
+		t.Fatalf("injected failure not surfaced: %v", err)
 	}
-	db.disk.FailAfter(-1)
-	if _, err := s.Run(BTC, Query{}); !errors.Is(err, ErrSessionBroken) {
-		t.Fatalf("broken session returned %v", err)
+	disk.FailAfter(-1)
+	if got := s.Faults(); got != 1 {
+		t.Fatalf("session recorded %d faults, want 1", got)
 	}
-	// The broken state is sticky: every subsequent query refuses, whatever
-	// its shape.
-	if _, err := s.Run(SRCH, Query{Sources: []int32{1}}); !errors.Is(err, ErrSessionBroken) {
-		t.Fatalf("broken session accepted a second query: %v", err)
-	}
-	// The database itself is still healthy.
-	if _, err := Run(db, BTC, Query{}, Config{BufferPages: 8}); err != nil {
-		t.Fatalf("database unusable after broken session: %v", err)
-	}
-	// And a fresh session over the same database works end to end,
-	// matching a cold run's answer and cost.
-	fresh, err := NewSession(db, Config{BufferPages: 8})
+	// The same session keeps working after the fault: the failed run's
+	// pins were dropped with the pool reset, so the very next query must
+	// succeed and be correct.
+	got, err := s.Run(BTC, Query{})
 	if err != nil {
-		t.Fatalf("cannot open fresh session after a broken one: %v", err)
+		t.Fatalf("session unusable after recovered fault: %v", err)
 	}
-	got, err := fresh.Run(BTC, Query{})
-	if err != nil {
-		t.Fatalf("fresh session query failed: %v", err)
-	}
+	checkAnswer(t, BTC, got.Successors, refSuccessors(t, g, nil), true, g)
+	// Recovery resets the pool, so the post-fault query runs cold: its
+	// cost matches a fresh cold run exactly.
 	cold, err := Run(db, BTC, Query{}, Config{BufferPages: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Metrics.TotalIO() != cold.Metrics.TotalIO() {
-		t.Fatalf("fresh session I/O %d != cold run %d",
+		t.Fatalf("post-fault session I/O %d != cold run %d",
 			got.Metrics.TotalIO(), cold.Metrics.TotalIO())
+	}
+	// Faults do not leak temporary storage.
+	base := db.disk.NumFiles()
+	disk.FailAfter(25)
+	_, _ = s.Run(SPN, Query{})
+	disk.FailAfter(-1)
+	for id := base; id < db.disk.NumFiles(); id++ {
+		if n := db.disk.NumPages(pagedisk.FileID(id)); n != 0 {
+			t.Fatalf("recovered fault left %d pages in temp file %d", n, id)
+		}
+	}
+	// Other query shapes keep working too.
+	if _, err := s.Run(SRCH, Query{Sources: []int32{1}}); err != nil {
+		t.Fatalf("session refused a later query: %v", err)
 	}
 }
 

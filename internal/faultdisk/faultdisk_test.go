@@ -1,0 +1,251 @@
+package faultdisk
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tcstudy/internal/pagedisk"
+)
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	for _, text := range []string{"", "read@7", "read@17,write@3", "alloc@0,read@2,write@900"} {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", text, err)
+		}
+		if got := s.String(); got != text {
+			t.Errorf("round trip of %q produced %q", text, got)
+		}
+	}
+	for _, bad := range []string{"read", "read@", "read@-1", "fsync@2", "read@x"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestScheduleNormalize(t *testing.T) {
+	s, err := ParseSchedule("write@3,read@7,read@2,read@7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Normalize().String(), "read@2,read@7,write@3"; got != want {
+		t.Errorf("Normalize = %q, want %q", got, want)
+	}
+}
+
+// opTrace exercises a fixed operation sequence against a wrapped store and
+// returns which per-kind read sequence numbers failed.
+func opTrace(t *testing.T, opts Options, reads int) []int64 {
+	t.Helper()
+	d := pagedisk.New()
+	f := d.CreateFile("trace")
+	p, err := d.Allocate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Wrap(d, opts)
+	var failed []int64
+	var pg pagedisk.Page
+	for i := 0; i < reads; i++ {
+		if err := s.Read(f, p, &pg); err != nil {
+			var fe *Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("read %d failed with a non-injected error: %v", i, err)
+			}
+			if fe.Op != OpRead || fe.Seq != int64(i) {
+				t.Fatalf("read %d failed as %s@%d", i, fe.Op, fe.Seq)
+			}
+			failed = append(failed, int64(i))
+		}
+	}
+	return failed
+}
+
+func TestScheduledInjection(t *testing.T) {
+	sched, err := ParseSchedule("read@2,read@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := opTrace(t, Options{Schedule: sched}, 10)
+	if len(failed) != 2 || failed[0] != 2 || failed[1] != 5 {
+		t.Fatalf("scheduled faults fired at %v, want [2 5]", failed)
+	}
+}
+
+func TestProbabilisticInjectionIsDeterministic(t *testing.T) {
+	opts := Options{Seed: 99, ReadFailProb: 0.3}
+	first := opTrace(t, opts, 200)
+	if len(first) == 0 {
+		t.Fatal("p=0.3 over 200 reads injected nothing")
+	}
+	for run := 0; run < 3; run++ {
+		again := opTrace(t, opts, 200)
+		if len(again) != len(first) {
+			t.Fatalf("run %d injected %d faults, first run %d", run, len(again), len(first))
+		}
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("run %d fault %d at read %d, first run at %d", run, i, again[i], first[i])
+			}
+		}
+	}
+	if other := opTrace(t, Options{Seed: 100, ReadFailProb: 0.3}, 200); len(other) == len(first) {
+		same := true
+		for i := range first {
+			if other[i] != first[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical injection sequences")
+		}
+	}
+}
+
+func TestErrorIdentity(t *testing.T) {
+	e := &Error{Op: OpWrite, Seq: 4}
+	if !errors.Is(e, ErrInjected) {
+		t.Error("Error does not match ErrInjected")
+	}
+	if !pagedisk.IsTransient(e) {
+		t.Error("injected fault not classified transient")
+	}
+	if pagedisk.IsTransient(errors.New("disk on fire")) {
+		t.Error("arbitrary error classified transient")
+	}
+}
+
+func TestCountersAndLatency(t *testing.T) {
+	d := pagedisk.New()
+	f := d.CreateFile("c")
+	s := Wrap(d, Options{ReadLatency: 3, WriteLatency: 5})
+	p, err := s.Allocate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg pagedisk.Page
+	if err := s.Write(f, p, &pg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Read(f, p, &pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Counters()
+	want := Counters{Reads: 4, Writes: 1, Allocs: 1, Latency: 4*3 + 5}
+	if got != want {
+		t.Errorf("counters = %+v, want %+v", got, want)
+	}
+}
+
+func TestWrapDelegates(t *testing.T) {
+	d := pagedisk.New()
+	f := d.CreateFile("base")
+	s := Wrap(d, Options{})
+	if s.Inner() != pagedisk.Store(d) {
+		t.Error("Inner does not return the wrapped store")
+	}
+	if s.FileName(f) != "base" || s.NumFiles() != 1 {
+		t.Error("catalog queries not delegated")
+	}
+	p, err := s.Allocate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := pagedisk.Page{1, 2, 3}
+	if err := s.Write(f, p, &src); err != nil {
+		t.Fatal(err)
+	}
+	var dst pagedisk.Page
+	if err := d.Read(f, p, &dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst != src {
+		t.Error("write did not reach the inner store")
+	}
+	s.Truncate(f)
+	if s.NumPages(f) != 0 {
+		t.Error("truncate not delegated")
+	}
+}
+
+func TestTornWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &TornWriter{W: &buf, Budget: 5}
+	n, err := w.Write([]byte("hello, world"))
+	if err != nil || n != 12 {
+		t.Fatalf("Write = (%d, %v), want full acknowledged length 12", n, err)
+	}
+	if got := buf.String(); got != "hello" {
+		t.Errorf("durable bytes = %q, want %q", got, "hello")
+	}
+	n, err = w.Write([]byte("more"))
+	if err != nil || n != 4 {
+		t.Fatalf("post-budget Write = (%d, %v), want (4, nil)", n, err)
+	}
+	if buf.Len() != 5 {
+		t.Errorf("budget exceeded: %d bytes written", buf.Len())
+	}
+}
+
+func TestTearFileAndFlipBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "victim")
+	if err := os.WriteFile(path, []byte("abcdefgh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearFile(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "abc" {
+		t.Fatalf("torn file holds %q, want %q", raw, "abc")
+	}
+	if err := FlipBit(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(path)
+	if raw[0] != 'a'^1 {
+		t.Errorf("bit 0 not flipped: first byte %q", raw[0])
+	}
+}
+
+func TestCorruptOneIsSeeded(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.pg", "b.pg", "c.pg"} {
+		if err := os.WriteFile(filepath.Join(dir, name), bytes.Repeat([]byte{0xAA}, 64), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pattern := filepath.Join(dir, "*.pg")
+	cor, err := CorruptOne(pattern, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cor.String() == "" {
+		t.Error("corruption description is empty")
+	}
+	// Exactly one file must differ from the pristine contents.
+	changed := 0
+	for _, name := range []string{"a.pg", "b.pg", "c.pg"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, bytes.Repeat([]byte{0xAA}, 64)) {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("CorruptOne changed %d files, want exactly 1", changed)
+	}
+}

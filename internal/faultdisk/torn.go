@@ -1,0 +1,122 @@
+package faultdisk
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Torn and partial writes for the OS-file persist paths. The simulated
+// page store is in-memory; durability goes through real files (pagedisk
+// snapshots written by Disk.Save, index files written by index.Save). A
+// crash mid-write leaves a prefix, and a misbehaving device can corrupt
+// bytes that were acknowledged. These helpers produce exactly those
+// artifacts, deterministically, so the loaders' defenses (magic, CRC,
+// structural validation) can be exercised and any failure replayed.
+
+// TornWriter passes through to W until Budget bytes have been written,
+// then silently discards the rest while still reporting success — the
+// shape of a torn write the OS acknowledged before a crash. The caller
+// observes no error; only the file is short.
+type TornWriter struct {
+	W      io.Writer
+	Budget int64
+}
+
+func (t *TornWriter) Write(p []byte) (int, error) {
+	if t.Budget <= 0 {
+		return len(p), nil
+	}
+	keep := int64(len(p))
+	if keep > t.Budget {
+		keep = t.Budget
+	}
+	n, err := t.W.Write(p[:keep])
+	t.Budget -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	// The discarded suffix is reported as written.
+	return len(p), nil
+}
+
+// TearFile truncates path to its first keep bytes, simulating a write torn
+// by a crash. keep larger than the file is a no-op.
+func TearFile(path string, keep int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if keep >= st.Size() {
+		return nil
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	return os.Truncate(path, keep)
+}
+
+// FlipBit flips one bit of the file at path, simulating silent media
+// corruption. bitOffset indexes bits from the start of the file and must
+// lie within it.
+func FlipBit(path string, bitOffset int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if bitOffset < 0 || bitOffset >= int64(len(data))*8 {
+		return fmt.Errorf("faultdisk: bit offset %d outside file of %d bytes", bitOffset, len(data))
+	}
+	data[bitOffset/8] ^= 1 << uint(bitOffset%8)
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Corruption describes one deterministic snapshot corruption for replay.
+type Corruption struct {
+	Path string // file corrupted
+	Torn bool   // true: truncated to Keep bytes; false: bit Bit flipped
+	Keep int64
+	Bit  int64
+}
+
+func (c Corruption) String() string {
+	if c.Torn {
+		return fmt.Sprintf("tear %s at byte %d", filepath.Base(c.Path), c.Keep)
+	}
+	return fmt.Sprintf("flip bit %d of %s", c.Bit, filepath.Base(c.Path))
+}
+
+// CorruptOne applies one seed-determined corruption — a torn write or a
+// single bit flip — to one of the files matching pattern (a filepath.Glob
+// pattern) and reports what it did. Loaders confronted with the result
+// must fail cleanly, never panic, and never return silently wrong data.
+func CorruptOne(pattern string, seed int64) (Corruption, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return Corruption{}, err
+	}
+	if len(paths) == 0 {
+		return Corruption{}, fmt.Errorf("faultdisk: no files match %s", pattern)
+	}
+	sort.Strings(paths)
+	rng := rand.New(rand.NewSource(seed))
+	path := paths[rng.Intn(len(paths))]
+	st, err := os.Stat(path)
+	if err != nil {
+		return Corruption{}, err
+	}
+	if st.Size() == 0 {
+		return Corruption{}, fmt.Errorf("faultdisk: %s is empty", path)
+	}
+	c := Corruption{Path: path}
+	if rng.Intn(2) == 0 {
+		c.Torn = true
+		c.Keep = rng.Int63n(st.Size())
+		return c, TearFile(path, c.Keep)
+	}
+	c.Bit = rng.Int63n(st.Size() * 8)
+	return c, FlipBit(path, c.Bit)
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"tcstudy/internal/faultdisk"
 	"tcstudy/internal/graph"
 	"tcstudy/internal/graphgen"
 )
@@ -149,4 +150,29 @@ func TestLoadRejectsOversizedHeader(t *testing.T) {
 func refreshCRC(b []byte) []byte {
 	body := b[:len(b)-4]
 	return le32(append([]byte(nil), body...), crc32.ChecksumIEEE(body))
+}
+
+// TestLoadRejectsTornWrite simulates the crash-mid-save failure mode with
+// the fault-injection TornWriter: the writer acknowledges every byte but
+// persists only a budget-limited prefix — exactly what a torn page or a
+// lying disk cache produces. Every such prefix must fail to load.
+func TestLoadRejectsTornWrite(t *testing.T) {
+	x := mustBuild(t, testGraph(t))
+	var whole bytes.Buffer
+	if err := x.Save(&whole); err != nil {
+		t.Fatal(err)
+	}
+	full := int64(whole.Len())
+	for _, budget := range []int64{0, 7, 64, full / 3, full / 2, full - 1} {
+		var torn bytes.Buffer
+		if err := x.Save(&faultdisk.TornWriter{W: &torn, Budget: budget}); err != nil {
+			t.Fatalf("budget %d: Save saw the tear: %v", budget, err)
+		}
+		if int64(torn.Len()) != budget {
+			t.Fatalf("budget %d: %d bytes persisted", budget, torn.Len())
+		}
+		if _, err := Load(bytes.NewReader(torn.Bytes())); err == nil {
+			t.Fatalf("torn write at %d of %d bytes loaded successfully", budget, full)
+		}
+	}
 }

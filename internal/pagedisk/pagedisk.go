@@ -56,6 +56,52 @@ func (s Stats) Sub(t Stats) Stats {
 // failure injection with FailAfter.
 var ErrIOInjected = errors.New("pagedisk: injected I/O failure")
 
+// Store is the page-storage seam between the disk and everything above it
+// (buffer pools, relations, successor-list stores). *Disk is the canonical
+// implementation; internal/faultdisk wraps any Store with deterministic
+// fault injection. Implementations must be safe for concurrent use.
+type Store interface {
+	// CreateFile adds a new, empty file and returns its ID.
+	CreateFile(name string) FileID
+	// FileName reports the name given to CreateFile.
+	FileName(f FileID) string
+	// NumFiles reports the number of files on the store.
+	NumFiles() int
+	// NumPages reports the current length of a file in pages.
+	NumPages(f FileID) int
+	// Allocate extends a file by one zeroed page and returns its ID.
+	Allocate(f FileID) (PageID, error)
+	// Truncate discards all pages of a file.
+	Truncate(f FileID)
+	// Read copies page p of file f into dst, counting one page read.
+	Read(f FileID, p PageID, dst *Page) error
+	// Write copies src into page p of file f, counting one page write.
+	Write(f FileID, p PageID, src *Page) error
+	// Stats returns the cumulative I/O counters.
+	Stats() Stats
+	// ResetStats zeroes the I/O counters.
+	ResetStats()
+}
+
+// transientFault is implemented by errors representing storage faults that
+// may succeed on retry (injected failures, simulated device hiccups), as
+// opposed to structural errors (out-of-range page, missing file) that will
+// never stop failing.
+type transientFault interface {
+	TransientStorageFault() bool
+}
+
+// IsTransient reports whether err (anywhere in its chain) is a transient
+// storage fault. Servers use this to answer 503-with-retry rather than 500,
+// and clients use it to decide whether a retry is worthwhile.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrIOInjected) {
+		return true
+	}
+	var tf transientFault
+	return errors.As(err, &tf) && tf.TransientStorageFault()
+}
+
 type file struct {
 	name  string
 	pages []*Page
@@ -71,6 +117,8 @@ type Disk struct {
 	// operations fail with ErrIOInjected. Used by failure-injection tests.
 	failAfter int64
 }
+
+var _ Store = (*Disk)(nil)
 
 // New returns an empty disk.
 func New() *Disk {
@@ -107,14 +155,16 @@ func (d *Disk) NumPages(f FileID) int {
 	return len(d.files[f].pages)
 }
 
-// Allocate extends a file by one zeroed page and returns its ID.
-func (d *Disk) Allocate(f FileID) PageID {
+// Allocate extends a file by one zeroed page and returns its ID. The
+// in-memory disk never fails an allocation; the error return exists for
+// Store implementations that do (fault injection, future bounded disks).
+func (d *Disk) Allocate(f FileID) (PageID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	fl := &d.files[f]
 	fl.pages = append(fl.pages, new(Page))
 	d.stats.Allocs++
-	return PageID(len(fl.pages) - 1)
+	return PageID(len(fl.pages) - 1), nil
 }
 
 // Truncate discards all pages of a file. It models dropping a temporary

@@ -15,8 +15,8 @@ func TestCreateFileAndAllocate(t *testing.T) {
 	if d.NumPages(f) != 0 {
 		t.Fatalf("new file has %d pages, want 0", d.NumPages(f))
 	}
-	p0 := d.Allocate(f)
-	p1 := d.Allocate(f)
+	p0, _ := d.Allocate(f)
+	p1, _ := d.Allocate(f)
 	if p0 != 0 || p1 != 1 {
 		t.Fatalf("Allocate returned %d,%d, want 0,1", p0, p1)
 	}
@@ -31,7 +31,7 @@ func TestCreateFileAndAllocate(t *testing.T) {
 func TestReadWriteRoundTrip(t *testing.T) {
 	d := New()
 	f := d.CreateFile("x")
-	p := d.Allocate(f)
+	p, _ := d.Allocate(f)
 	var out, in Page
 	for i := range out {
 		out[i] = byte(i * 7)
@@ -54,7 +54,7 @@ func TestReadWriteRoundTrip(t *testing.T) {
 func TestWriteDoesNotAliasCallerPage(t *testing.T) {
 	d := New()
 	f := d.CreateFile("x")
-	p := d.Allocate(f)
+	p, _ := d.Allocate(f)
 	var buf Page
 	buf[0] = 1
 	if err := d.Write(f, p, &buf); err != nil {
@@ -91,7 +91,7 @@ func TestOutOfRangeErrors(t *testing.T) {
 func TestStatsSubAndReset(t *testing.T) {
 	d := New()
 	f := d.CreateFile("x")
-	p := d.Allocate(f)
+	p, _ := d.Allocate(f)
 	var buf Page
 	before := d.Stats()
 	_ = d.Write(f, p, &buf)
@@ -123,7 +123,7 @@ func TestTruncate(t *testing.T) {
 func TestFailureInjection(t *testing.T) {
 	d := New()
 	f := d.CreateFile("x")
-	p := d.Allocate(f)
+	p, _ := d.Allocate(f)
 	var buf Page
 	d.FailAfter(2)
 	if err := d.Write(f, p, &buf); err != nil {

@@ -4,7 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"io"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 )
@@ -14,13 +14,22 @@ import (
 // plus index construction) can be reopened later without repeating the
 // work. Each simulated file becomes one operating-system file:
 //
-//	<dir>/file<NNNN>.pg :=  magic | name length | name | page count | pages
+//	<dir>/file<NNNN>.pg := magic | version | name length | name |
+//	                       page count | pages | crc32
+//
+// The trailing CRC32 (IEEE, over everything after the magic) is the
+// defense against torn and partially-acknowledged writes: a snapshot cut
+// short by a crash, or silently corrupted on media, fails loudly at load
+// time instead of resurrecting a subtly wrong database.
 //
 // Persistence is a snapshot operation, not a write-through page store: the
 // study's cost model counts simulated page I/O, and that accounting stays
 // exact whether the disk was freshly built or restored.
 
-const snapshotMagic = "TCPG"
+const (
+	snapshotMagic   = "TCPG"
+	snapshotVersion = 2
+)
 
 func snapshotPath(dir string, f FileID) string {
 	return filepath.Join(dir, fmt.Sprintf("file%04d.pg", f))
@@ -55,22 +64,37 @@ func (d *Disk) saveFile(dir string, id FileID) error {
 	if _, err := w.WriteString(snapshotMagic); err != nil {
 		return err
 	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(fl.name)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
+	// Everything after the magic participates in the checksum.
+	sum := crc32.NewIEEE()
+	write := func(b []byte) error {
+		sum.Write(b)
+		_, err := w.Write(b)
 		return err
 	}
-	if _, err := w.WriteString(fl.name); err != nil {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], snapshotVersion)
+	if err := write(lenBuf[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(fl.name)))
+	if err := write(lenBuf[:]); err != nil {
+		return err
+	}
+	if err := write([]byte(fl.name)); err != nil {
 		return err
 	}
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(fl.pages)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
+	if err := write(lenBuf[:]); err != nil {
 		return err
 	}
 	for _, pg := range fl.pages {
-		if _, err := w.Write(pg[:]); err != nil {
+		if err := write(pg[:]); err != nil {
 			return err
 		}
+	}
+	binary.LittleEndian.PutUint32(lenBuf[:], sum.Sum32())
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -100,49 +124,64 @@ func Load(dir string) (*Disk, error) {
 	return d, nil
 }
 
+// loadFile parses one snapshot file, rejecting a bad magic, an unknown
+// version, a checksum mismatch (torn write, bit flip), an implausible
+// header and any trailing garbage.
 func (d *Disk) loadFile(path string) error {
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(r, magic); err != nil {
+	f, err := parseSnapshot(raw)
+	if err != nil {
 		return err
 	}
-	if string(magic) != snapshotMagic {
-		return fmt.Errorf("bad magic %q", magic)
-	}
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return err
-	}
-	nameLen := binary.LittleEndian.Uint32(lenBuf[:])
-	if nameLen > 1<<16 {
-		return fmt.Errorf("implausible name length %d", nameLen)
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(r, name); err != nil {
-		return err
-	}
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return err
-	}
-	nPages := binary.LittleEndian.Uint32(lenBuf[:])
 	d.mu.Lock()
-	d.files = append(d.files, file{name: string(name)})
-	id := len(d.files) - 1
-	for p := uint32(0); p < nPages; p++ {
-		pg := new(Page)
-		if _, err := io.ReadFull(r, pg[:]); err != nil {
-			d.mu.Unlock()
-			return fmt.Errorf("page %d: %w", p, err)
-		}
-		d.files[id].pages = append(d.files[id].pages, pg)
-	}
+	d.files = append(d.files, f)
 	// Loading is catalog reconstruction, not simulated I/O.
 	d.stats = Stats{}
 	d.mu.Unlock()
 	return nil
+}
+
+// parseSnapshot decodes the body of one snapshot file. It is the
+// fuzz-exercised decoder: arbitrary input must produce an error or a valid
+// file, never a panic and never unbounded allocation.
+func parseSnapshot(raw []byte) (file, error) {
+	const headerLen = len(snapshotMagic) + 4 + 4 // magic, version, name length
+	if len(raw) < headerLen+4+4 {                // + page count + crc
+		return file{}, fmt.Errorf("truncated snapshot (%d bytes)", len(raw))
+	}
+	if string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return file{}, fmt.Errorf("bad magic %q", raw[:len(snapshotMagic)])
+	}
+	body, trailer := raw[len(snapshotMagic):len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return file{}, fmt.Errorf("checksum mismatch (file %08x, computed %08x): torn write or corruption", want, got)
+	}
+	if v := binary.LittleEndian.Uint32(body); v != snapshotVersion {
+		return file{}, fmt.Errorf("unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	nameLen := binary.LittleEndian.Uint32(body[4:])
+	if nameLen > 1<<16 {
+		return file{}, fmt.Errorf("implausible name length %d", nameLen)
+	}
+	rest := body[8:]
+	if uint64(len(rest)) < uint64(nameLen)+4 {
+		return file{}, fmt.Errorf("name section truncated")
+	}
+	name := string(rest[:nameLen])
+	rest = rest[nameLen:]
+	nPages := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint64(len(rest)) != uint64(nPages)*PageSize {
+		return file{}, fmt.Errorf("header promises %d pages but %d bytes of page data follow", nPages, len(rest))
+	}
+	f := file{name: name, pages: make([]*Page, 0, nPages)}
+	for p := uint32(0); p < nPages; p++ {
+		pg := new(Page)
+		copy(pg[:], rest[uint64(p)*PageSize:])
+		f.pages = append(f.pages, pg)
+	}
+	return f, nil
 }

@@ -11,7 +11,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	a := d.CreateFile("alpha")
 	b := d.CreateFile("beta")
 	for i := 0; i < 3; i++ {
-		p := d.Allocate(a)
+		p, _ := d.Allocate(a)
 		var pg Page
 		pg[0] = byte(i + 1)
 		pg[PageSize-1] = byte(0xF0 + i)
@@ -52,7 +52,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadResetsStats(t *testing.T) {
 	d := New()
 	f := d.CreateFile("x")
-	p := d.Allocate(f)
+	p, _ := d.Allocate(f)
 	var pg Page
 	_ = d.Write(f, p, &pg)
 	dir := t.TempDir()
@@ -103,7 +103,7 @@ func TestLoadErrors(t *testing.T) {
 func TestSaveOverwritesExistingSnapshot(t *testing.T) {
 	d := New()
 	f := d.CreateFile("x")
-	p := d.Allocate(f)
+	p, _ := d.Allocate(f)
 	var pg Page
 	pg[0] = 1
 	_ = d.Write(f, p, &pg)

@@ -35,7 +35,7 @@ type BTree struct {
 // BuildBTree bulk-loads the index from the relation's page summaries.
 // Building bypasses the buffer pool (database construction is not charged
 // to queries).
-func BuildBTree(disk *pagedisk.Disk, name string, r *Relation) (*BTree, error) {
+func BuildBTree(disk pagedisk.Store, name string, r *Relation) (*BTree, error) {
 	bt := &BTree{file: disk.CreateFile(name), root: pagedisk.InvalidPage}
 	if r.numPages <= 1 {
 		return bt, nil // zero or one leaf: no interior level needed
@@ -57,7 +57,10 @@ func BuildBTree(disk *pagedisk.Disk, name string, r *Relation) (*BTree, error) {
 			binary.LittleEndian.PutUint32(pg[8+i*8:], uint32(e.key))
 			binary.LittleEndian.PutUint32(pg[12+i*8:], uint32(e.child))
 		}
-		id := disk.Allocate(bt.file)
+		id, err := disk.Allocate(bt.file)
+		if err != nil {
+			return 0, err
+		}
 		if err := disk.Write(bt.file, id, &pg); err != nil {
 			return 0, err
 		}

@@ -197,8 +197,8 @@ func TestHeapIOErrorPropagates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	p.Disk().FailAfter(0)
-	defer p.Disk().FailAfter(-1)
+	p.Disk().(*pagedisk.Disk).FailAfter(0)
+	defer p.Disk().(*pagedisk.Disk).FailAfter(-1)
 	err := h.Scan(func(Tuple) bool { return true })
 	if !errors.Is(err, pagedisk.ErrIOInjected) {
 		t.Fatalf("scan err = %v", err)

@@ -47,7 +47,7 @@ type Relation struct {
 // a new file on disk, and returns the relation. Building bypasses the buffer
 // pool and is excluded from measured I/O (the database pre-exists the
 // query); callers reset disk stats afterwards via the harness.
-func Build(disk *pagedisk.Disk, name string, tuples []Tuple) *Relation {
+func Build(disk pagedisk.Store, name string, tuples []Tuple) *Relation {
 	ts := make([]Tuple, len(tuples))
 	copy(ts, tuples)
 	sort.Slice(ts, func(i, j int) bool {
@@ -73,8 +73,11 @@ func Build(disk *pagedisk.Disk, name string, tuples []Tuple) *Relation {
 		if n == 0 {
 			return
 		}
-		id := disk.Allocate(r.file)
-		if err := disk.Write(r.file, id, &pg); err != nil {
+		id, err := disk.Allocate(r.file)
+		if err == nil {
+			err = disk.Write(r.file, id, &pg)
+		}
+		if err != nil {
 			// The in-memory disk only fails under injection, which is not
 			// armed during setup.
 			panic(fmt.Sprintf("relation: build write failed: %v", err))
@@ -113,7 +116,7 @@ func Build(disk *pagedisk.Disk, name string, tuples []Tuple) *Relation {
 
 // BuildInverse builds the dual representation: the same arcs with key and
 // value swapped, clustered on the original value attribute. Used by JKB2.
-func BuildInverse(disk *pagedisk.Disk, name string, tuples []Tuple) *Relation {
+func BuildInverse(disk pagedisk.Store, name string, tuples []Tuple) *Relation {
 	inv := make([]Tuple, len(tuples))
 	for i, t := range tuples {
 		inv[i] = Tuple{Key: t.Val, Val: t.Key}

@@ -27,7 +27,7 @@ type WeightColumn struct {
 // tuples are sorted and deduplicated as in Build; weights follow their
 // tuples, and a duplicated arc keeps its smallest weight (the natural
 // choice for shortest-path semantics; documented behaviour).
-func BuildWeighted(disk *pagedisk.Disk, name string, tuples []Tuple, weights []int32) (*Relation, *WeightColumn, error) {
+func BuildWeighted(disk pagedisk.Store, name string, tuples []Tuple, weights []int32) (*Relation, *WeightColumn, error) {
 	if len(tuples) != len(weights) {
 		return nil, nil, fmt.Errorf("relation: %d tuples but %d weights", len(tuples), len(weights))
 	}
@@ -72,7 +72,10 @@ func BuildWeighted(disk *pagedisk.Disk, name string, tuples []Tuple, weights []i
 		if n == 0 {
 			return nil
 		}
-		id := disk.Allocate(col.file)
+		id, err := disk.Allocate(col.file)
+		if err != nil {
+			return err
+		}
 		if err := disk.Write(col.file, id, &pg); err != nil {
 			return err
 		}

@@ -24,9 +24,10 @@ type Metrics struct {
 	CacheMisses  atomic.Int64 // executed by the engine
 	IndexHits    atomic.Int64 // /v1/reach answered by the reachability index
 	Deduplicated atomic.Int64 // coalesced onto an identical in-flight query
-	Rejected     atomic.Int64 // 429: admission queue full
-	Timeouts     atomic.Int64 // 504: request deadline expired
-	Errors       atomic.Int64 // 4xx validation + 5xx engine failures
+	Rejected      atomic.Int64 // 429: admission queue full
+	Timeouts      atomic.Int64 // 504: request deadline expired
+	StorageFaults atomic.Int64 // 503: transient storage fault under the engine
+	Errors        atomic.Int64 // 4xx validation + other 5xx engine failures
 
 	// Work served by the engine (cache hits add nothing here — that page
 	// I/O was already paid for by the miss that filled the cache).
@@ -61,9 +62,10 @@ type Snapshot struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	IndexHits    int64   `json:"index_hits"`
 	Deduplicated int64   `json:"deduplicated"`
-	Rejected     int64   `json:"rejected"`
-	Timeouts     int64   `json:"timeouts"`
-	Errors       int64   `json:"errors"`
+	Rejected      int64   `json:"rejected"`
+	Timeouts      int64   `json:"timeouts"`
+	StorageFaults int64   `json:"storage_faults"`
+	Errors        int64   `json:"errors"`
 
 	PagesServed  int64 `json:"pages_served"`
 	TuplesServed int64 `json:"tuples_served"`
@@ -98,6 +100,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Deduplicated:  m.Deduplicated.Load(),
 		Rejected:      m.Rejected.Load(),
 		Timeouts:      m.Timeouts.Load(),
+		StorageFaults: m.StorageFaults.Load(),
 		Errors:        m.Errors.Load(),
 		PagesServed:   m.PagesServed.Load(),
 		TuplesServed:  m.TuplesServed.Load(),

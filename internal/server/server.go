@@ -33,6 +33,7 @@ import (
 	"tcstudy/internal/core"
 	"tcstudy/internal/graph"
 	"tcstudy/internal/index"
+	"tcstudy/internal/pagedisk"
 	"tcstudy/internal/planner"
 	"tcstudy/internal/slist"
 )
@@ -156,9 +157,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// fail maps an error to its HTTP status and counts it.
+// retryAfterMS is the retry hint attached to 503 responses for transient
+// storage faults. The fault is gone the moment the engine retries (the
+// backing store is intact), so the hint only spreads out the retry burst.
+const retryAfterMS = 50
+
+// fail maps an error to its HTTP status and counts it. Input-validation
+// failures are 400s; a transient storage fault — a failed page read or
+// write under the engine, which the next attempt may well not hit — is a
+// 503 with retry hints, never a 500: the request was well-formed and the
+// database is intact.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	transient := false
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
@@ -169,14 +180,29 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case isDeadline(err):
 		status = http.StatusGatewayTimeout
+	case pagedisk.IsTransient(err):
+		status = http.StatusServiceUnavailable
+		transient = true
 	}
-	switch status {
-	case http.StatusTooManyRequests:
+	switch {
+	case status == http.StatusTooManyRequests:
 		s.met.Rejected.Add(1)
-	case http.StatusGatewayTimeout:
+	case status == http.StatusGatewayTimeout:
 		s.met.Timeouts.Add(1)
+	case transient:
+		s.met.StorageFaults.Add(1)
 	default:
 		s.met.Errors.Add(1)
+	}
+	if transient {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, status, map[string]any{
+			"error":          err.Error(),
+			"transient":      true,
+			"retry":          true,
+			"retry_after_ms": retryAfterMS,
+		})
+		return
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -495,10 +495,18 @@ func (s *Store) Clear(id int32) error {
 
 // Iterator walks one list front to back, holding at most one page pinned.
 // Callers must Close it and should check Err.
+//
+// The iterator is defensive about on-page state: a corrupt chain (block
+// index outside the page layout, an entry count exceeding the block size,
+// or a cycle of next-pointers) surfaces as an error from Err, never as an
+// out-of-bounds access or an unterminated walk. Pages reach this code
+// through the buffer pool from a store that fault injection or a damaged
+// snapshot may have corrupted, so the read path cannot trust them.
 type Iterator struct {
 	s      *Store
 	cur    Ref
 	idx    int
+	steps  int // blocks visited, bounds the walk against cyclic chains
 	h      buffer.Handle
 	pinned pagedisk.PageID
 	err    error
@@ -519,6 +527,11 @@ func (it *Iterator) Next() (v int32, ok bool) {
 			it.release()
 			return 0, false
 		}
+		if it.cur.Blk < 0 || it.cur.Blk >= BlocksPerPage {
+			it.err = fmt.Errorf("slist: corrupt chain: block index %d outside page layout", it.cur.Blk)
+			it.release()
+			return 0, false
+		}
 		if it.pinned != it.cur.Page {
 			it.release()
 			h, err := it.s.pool.Get(it.s.file, it.cur.Page)
@@ -530,10 +543,24 @@ func (it *Iterator) Next() (v int32, ok bool) {
 			it.pinned = it.cur.Page
 		}
 		pg := it.h.Data()
-		if it.idx < blockUsed(pg, it.cur.Blk) {
+		used := blockUsed(pg, it.cur.Blk)
+		if used > BlockEntries {
+			it.err = fmt.Errorf("slist: corrupt block %d on page %d: %d entries used, capacity %d",
+				it.cur.Blk, it.cur.Page, used, BlockEntries)
+			it.release()
+			return 0, false
+		}
+		if it.idx < used {
 			v = blockEntry(pg, it.cur.Blk, it.idx)
 			it.idx++
 			return v, true
+		}
+		// A well-formed chain visits each block at most once; a walk longer
+		// than every block in the file is a next-pointer cycle.
+		if it.steps++; it.steps > (it.s.pool.Disk().NumPages(it.s.file)+1)*BlocksPerPage {
+			it.err = fmt.Errorf("slist: corrupt chain: next-pointer cycle after %d blocks", it.steps)
+			it.release()
+			return 0, false
 		}
 		it.cur = blockNext(pg, it.cur.Blk)
 		it.idx = 0

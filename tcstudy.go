@@ -265,9 +265,9 @@ func (db *DB) Paths(agg PathAggregate, sources []int32, cfg Config) (*PathResult
 
 // Session runs a sequence of queries through one warm buffer pool. The
 // paper's measurements are cold (each query starts with an empty pool);
-// a session is what a library user wants for repeated queries. After an
-// I/O error a session is broken and must be replaced; the database remains
-// usable.
+// a session is what a library user wants for repeated queries. A storage
+// error does not poison the session: the pool is reset and the next query
+// runs cold against the intact database.
 type Session struct {
 	inner *core.Session
 	db    *DB
