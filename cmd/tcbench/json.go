@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"tcstudy/internal/core"
+	"tcstudy/internal/graphgen"
+)
+
+// Machine-readable micro-benchmarks. `tcbench -json` runs a fixed suite of
+// single-query benchmarks through testing.Benchmark and prints one JSON
+// record per line, so CI and scripts can track ns/op, allocation rate, and
+// the simulated page traffic without scraping the human tables. The page
+// counts come from the engine's own metric record and are deterministic
+// for a given graph; the timing fields are the usual noisy wall-clock
+// numbers testing.B reports.
+
+// benchRecord is one emitted line of `tcbench -json`.
+type benchRecord struct {
+	Name         string  `json:"name"`
+	Algorithm    string  `json:"algorithm"`
+	Nodes        int     `json:"nodes"`
+	Arcs         int64   `json:"arcs"`
+	Sources      int     `json:"sources"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	PagesRead    int64   `json:"pages_read"`
+	PagesWritten int64   `json:"pages_written"`
+}
+
+// jsonAlgorithms is the benchmarked suite: the paper's main contenders
+// plus the adaptive hybrid, each run as an 8-source partial closure and
+// once as a full closure for the two all-pairs algorithms.
+var jsonAlgorithms = []struct {
+	alg     core.Algorithm
+	full    bool // full closure instead of the 8-source selection
+	ilimit  float64
+	variant string // suffix distinguishing query shapes of one algorithm
+}{
+	{alg: core.BTC},
+	{alg: core.BJ},
+	{alg: core.SRCH},
+	{alg: core.SPN},
+	{alg: core.JKB2},
+	{alg: core.SCHMITZ},
+	{alg: core.HYB, ilimit: 0.25},
+	{alg: core.BTC, full: true, variant: "full"},
+	{alg: core.HYB, full: true, ilimit: 0.25, variant: "full"},
+}
+
+const jsonSources = 8
+
+// runJSON executes the suite and writes newline-delimited JSON to stdout.
+func runJSON(nodes, outDegree, locality int, seed int64, bufferPages int) error {
+	arcs, err := graphgen.Generate(graphgen.Params{
+		Nodes: nodes, OutDegree: outDegree, Locality: locality, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	db := core.NewDatabase(nodes, arcs)
+	enc := json.NewEncoder(os.Stdout)
+	for _, bc := range jsonAlgorithms {
+		q := core.Query{}
+		nsrc := nodes // full closure expands every node
+		if !bc.full {
+			q.Sources = graphgen.SourceSet(nodes, jsonSources, seed)
+			nsrc = jsonSources
+		}
+		cfg := core.Config{BufferPages: bufferPages, ILIMIT: bc.ilimit}
+		// One reference run pins down the deterministic page traffic and
+		// checks the shape before the timed loop commits to it.
+		ref, err := core.Run(db, bc.alg, q, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", bc.alg, err)
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(db, bc.alg, q, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		name := string(bc.alg)
+		if bc.variant != "" {
+			name += "/" + bc.variant
+		}
+		rec := benchRecord{
+			Name:         "BenchmarkQuery/" + name,
+			Algorithm:    string(bc.alg),
+			Nodes:        nodes,
+			Arcs:         int64(db.NumArcs()),
+			Sources:      nsrc,
+			Iterations:   br.N,
+			NsPerOp:      float64(br.NsPerOp()),
+			AllocsPerOp:  br.AllocsPerOp(),
+			BytesPerOp:   br.AllocedBytesPerOp(),
+			PagesRead:    ref.Metrics.Restructure.Reads + ref.Metrics.Compute.Reads,
+			PagesWritten: ref.Metrics.Restructure.Writes + ref.Metrics.Compute.Writes,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -43,6 +43,7 @@ func main() {
 		pagePolicy = flag.String("pagepolicy", "lru", "page replacement policy")
 		listPolicy = flag.String("listpolicy", "smallest", "list replacement policy")
 		ilimit     = flag.Float64("ilimit", 0, "HYB diagonal block fraction of the pool")
+		parallel   = flag.Int("parallel", 0, "intra-query source parallelism for multi-source queries (0 = serial)")
 		indexFile  = flag.String("index", "", "answer from this prebuilt reachability index (tcindex build) instead of running the engine")
 		show       = flag.Bool("show", false, "print the computed successor sets")
 		plan       = flag.Bool("plan", false, "print the planner's cost estimates before running")
@@ -124,6 +125,7 @@ func main() {
 		PagePolicy:  *pagePolicy,
 		ListPolicy:  *listPolicy,
 		ILIMIT:      *ilimit,
+		Parallelism: *parallel,
 	}
 
 	if *agg != "" {

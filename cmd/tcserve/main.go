@@ -15,6 +15,7 @@
 //	tcserve -addr :8080 -n 2000 -f 5 -l 200
 //	tcserve -addr :8080 -db /var/lib/tc/db -workers 16 -cache 1024
 //	tcserve -addr :8080 -n 2000 -index g.idx   # O(1) /v1/reach via tcindex build
+//	tcserve -addr :8080 -pprof localhost:6060 -parallelism 4
 //
 // With -index, GET /v1/reach is answered from the prebuilt reachability
 // index (zero page I/O, no engine work); the engine path remains the
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the separate -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +60,8 @@ func main() {
 		pagePolicy = flag.String("pagepolicy", "lru", "default page replacement policy")
 		listPolicy = flag.String("listpolicy", "smallest", "default list replacement policy")
 		indexFile  = flag.String("index", "", "serve /v1/reach from this prebuilt reachability index (tcindex build)")
+		par        = flag.Int("parallelism", 0, "default intra-query source parallelism (0 = serial)")
+		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -102,10 +106,22 @@ func main() {
 			BufferPages: *m,
 			PagePolicy:  *pagePolicy,
 			ListPolicy:  *listPolicy,
+			Parallelism: *par,
 		},
 		Index: idx,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// pprof registers on http.DefaultServeMux; the main listener serves the
+	// query mux only, so profiling never leaks onto the public address.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -191,10 +191,15 @@ func (c *clock) Victim(evictable func(int) bool) int {
 type random struct {
 	rng  *rand.Rand
 	used []bool
+	cand []int // scratch reused across Victim calls (eviction is a hot path)
 }
 
 func newRandom(n int, seed int64) *random {
-	return &random{rng: rand.New(rand.NewSource(seed)), used: make([]bool, n)}
+	return &random{
+		rng:  rand.New(rand.NewSource(seed)),
+		used: make([]bool, n),
+		cand: make([]int, 0, n),
+	}
 }
 
 func (r *random) Name() string   { return "random" }
@@ -203,7 +208,7 @@ func (r *random) Touched(int)    {}
 func (r *random) Removed(i int)  { r.used[i] = false }
 
 func (r *random) Victim(evictable func(int) bool) int {
-	var cand []int
+	cand := r.cand[:0]
 	for i, u := range r.used {
 		if u && evictable(i) {
 			cand = append(cand, i)

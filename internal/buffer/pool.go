@@ -20,6 +20,7 @@ type key struct {
 type frame struct {
 	key   key
 	data  pagedisk.Page
+	view  *pagedisk.Page // non-nil: zero-copy view of a sealed file's page
 	pins  int
 	dirty bool
 	valid bool
@@ -68,6 +69,7 @@ func (s Stats) Sub(t Stats) Stats {
 // The pool is not safe for concurrent use.
 type Pool struct {
 	disk   pagedisk.Store
+	viewer pagedisk.ReadOnlyViewer // non-nil when disk supports zero-copy views
 	frames []frame
 	table  map[key]int
 	policy Policy
@@ -75,13 +77,18 @@ type Pool struct {
 }
 
 // New creates a pool of size frames over disk using the given replacement
-// policy. Size must be at least 1.
+// policy. Size must be at least 1. If disk implements
+// pagedisk.ReadOnlyViewer, misses on sealed files fill frames with
+// zero-copy views instead of page copies; the accounting (hits, misses,
+// reads) is identical either way.
 func New(disk pagedisk.Store, size int, policy Policy) *Pool {
 	if size < 1 {
 		panic("buffer: pool size must be at least 1")
 	}
+	viewer, _ := disk.(pagedisk.ReadOnlyViewer)
 	return &Pool{
 		disk:   disk,
+		viewer: viewer,
 		frames: make([]frame, size),
 		table:  make(map[key]int, size),
 		policy: policy,
@@ -122,13 +129,19 @@ type Handle struct {
 	valid bool
 }
 
-// Data returns the page bytes. The slice aliases the frame; it is valid
-// only while the handle remains pinned.
+// Data returns the page bytes. The pointer aliases the frame (or, for a
+// sealed file, the shared immutable storage); it is valid only while the
+// handle remains pinned, and pages of sealed files must not be written
+// through it.
 func (h *Handle) Data() *pagedisk.Page {
 	if !h.valid {
 		panic("buffer: use of unpinned handle")
 	}
-	return &h.pool.frames[h.idx].data
+	fr := &h.pool.frames[h.idx]
+	if fr.view != nil {
+		return fr.view
+	}
+	return &fr.data
 }
 
 // Page reports the page identity behind the handle.
@@ -148,6 +161,7 @@ func (p *Pool) evict(i int) error {
 	fr.valid = false
 	fr.dirty = false
 	fr.fresh = false
+	fr.view = nil
 	p.stats.Evicts++
 	return nil
 }
@@ -184,8 +198,20 @@ func (p *Pool) Get(f pagedisk.FileID, pg pagedisk.PageID) (Handle, error) {
 		return Handle{}, err
 	}
 	fr := &p.frames[i]
-	if err := p.disk.Read(f, pg, &fr.data); err != nil {
-		return Handle{}, err
+	if p.viewer != nil && p.viewer.Sealed(f) {
+		// Sealed files are immutable: the frame holds a view into the
+		// shared storage instead of a private copy. A view is charged as
+		// one read, so the cost model is unchanged.
+		v, err := p.viewer.View(f, pg)
+		if err != nil {
+			return Handle{}, err
+		}
+		fr.view = v
+	} else {
+		if err := p.disk.Read(f, pg, &fr.data); err != nil {
+			return Handle{}, err
+		}
+		fr.view = nil
 	}
 	p.stats.Misses++
 	p.stats.Reads++
@@ -213,6 +239,7 @@ func (p *Pool) GetNew(f pagedisk.FileID) (pagedisk.PageID, Handle, error) {
 	}
 	fr := &p.frames[i]
 	fr.data = pagedisk.Page{}
+	fr.view = nil
 	k := key{f, pg}
 	fr.key = k
 	fr.pins = 1
@@ -234,6 +261,9 @@ func (p *Pool) Unpin(h *Handle, dirty bool) {
 		panic(fmt.Sprintf("buffer: unbalanced unpin of page %d/%d", h.key.file, h.key.page))
 	}
 	if dirty {
+		if fr.view != nil {
+			panic(fmt.Sprintf("buffer: dirty unpin of sealed page %d/%d", h.key.file, h.key.page))
+		}
 		fr.dirty = true
 	}
 	fr.pins--
@@ -313,6 +343,7 @@ func (p *Pool) DiscardFile(f pagedisk.FileID) {
 		fr.valid = false
 		fr.dirty = false
 		fr.fresh = false
+		fr.view = nil
 	}
 }
 

@@ -1,0 +1,192 @@
+package buffer
+
+import (
+	"strings"
+	"testing"
+
+	"tcstudy/internal/pagedisk"
+)
+
+// TestSealedGetIsZeroCopy pins a page of a sealed file and checks the
+// handle aliases the disk's storage rather than a frame-private copy,
+// while the accounting stays identical to the copying path.
+func TestSealedGetIsZeroCopy(t *testing.T) {
+	p, d, f := newPool(t, 4, "lru")
+	fill(t, d, f, 3)
+	d.Seal(f)
+
+	h, err := p.Get(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.View(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Data() != v {
+		t.Fatal("sealed Get did not hand out the shared immutable page")
+	}
+	if h.Data()[0] != 1 {
+		t.Fatalf("page contents = %d, want 1", h.Data()[0])
+	}
+	st := p.Stats()
+	if st.Misses != 1 || st.Reads != 1 {
+		t.Fatalf("stats = %+v, want 1 miss and 1 read", st)
+	}
+	p.Unpin(&h, false)
+
+	// Hit path: same frame, same shared storage, no extra read.
+	h2, err := p.Get(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Data() != v {
+		t.Fatal("hit on sealed page lost the shared view")
+	}
+	if st := p.Stats(); st.Hits != 1 || st.Reads != 1 {
+		t.Fatalf("stats = %+v, want 1 hit and still 1 pool read", st)
+	}
+	p.Unpin(&h2, false)
+}
+
+// TestSealedDirtyUnpinPanics: a sealed page must never be marked dirty —
+// that would write back into storage other queries are reading.
+func TestSealedDirtyUnpinPanics(t *testing.T) {
+	p, d, f := newPool(t, 2, "lru")
+	fill(t, d, f, 1)
+	d.Seal(f)
+	h, err := p.Get(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("dirty unpin of a sealed page did not panic")
+		}
+		if !strings.Contains(r.(string), "sealed") {
+			t.Fatalf("panic %q does not mention sealing", r)
+		}
+	}()
+	p.Unpin(&h, true)
+}
+
+// TestSealedEvictionIsFree: view frames are never dirty, so evicting them
+// writes nothing and a later re-Get re-views.
+func TestSealedEvictionIsFree(t *testing.T) {
+	p, d, f := newPool(t, 1, "lru")
+	fill(t, d, f, 2)
+	d.Seal(f)
+	for _, pg := range []pagedisk.PageID{0, 1, 0} {
+		h, err := p.Get(f, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Data()[0] != byte(pg) {
+			t.Fatalf("page %d contents = %d", pg, h.Data()[0])
+		}
+		p.Unpin(&h, false)
+	}
+	st := p.Stats()
+	if st.Writes != 0 {
+		t.Fatalf("evicting view frames wrote %d pages", st.Writes)
+	}
+	if st.Evicts != 2 || st.Reads != 3 {
+		t.Fatalf("stats = %+v, want 2 evicts and 3 reads", st)
+	}
+	if dst := d.Stats(); dst.Writes != 0 {
+		t.Fatalf("disk writes = %d, want 0", dst.Writes)
+	}
+}
+
+// TestViewFrameReusedForUnsealedPage: a frame that held a view must not
+// leak it when reused for a mutable page of another file.
+func TestViewFrameReusedForUnsealedPage(t *testing.T) {
+	d := pagedisk.New()
+	base := d.CreateFile("base")
+	tmp := d.CreateFile("tmp")
+	for i := 0; i < 2; i++ {
+		p, _ := d.Allocate(base)
+		var pg pagedisk.Page
+		pg[0] = byte(10 + i)
+		if err := d.Write(base, p, &pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Allocate(tmp); err != nil {
+		t.Fatal(err)
+	}
+	d.Seal(base)
+	pol, _ := NewPolicy("lru", 1)
+	p := New(d, 1, pol)
+
+	h, err := p.Get(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(&h, false)
+
+	// Reuse the single frame for the mutable temp page and dirty it.
+	h, err = p.Get(tmp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data()[0] = 99
+	p.Unpin(&h, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	var pg pagedisk.Page
+	if err := d.Read(tmp, 0, &pg); err != nil {
+		t.Fatal(err)
+	}
+	if pg[0] != 99 {
+		t.Fatalf("temp page byte = %d, want 99", pg[0])
+	}
+	// The sealed file is untouched.
+	v, err := d.View(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 10 {
+		t.Fatalf("sealed page byte = %d, want 10", v[0])
+	}
+}
+
+// BenchmarkGetSealed measures the zero-copy hit/miss path; with a sealed
+// file the miss fill is pointer assignment, not a 2 KiB copy.
+func BenchmarkGetSealed(b *testing.B) {
+	for _, sealed := range []bool{false, true} {
+		name := "copy"
+		if sealed {
+			name = "view"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := pagedisk.New()
+			f := d.CreateFile("base")
+			const pages = 64
+			for i := 0; i < pages; i++ {
+				p, _ := d.Allocate(f)
+				var pg pagedisk.Page
+				if err := d.Write(f, p, &pg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if sealed {
+				d.Seal(f)
+			}
+			pol, _ := NewPolicy("lru", 8)
+			pool := New(d, 8, pol)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := pool.Get(f, pagedisk.PageID(i%pages))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = h.Data()[0]
+				pool.Unpin(&h, false)
+			}
+		})
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "tcstudy/internal/bitset"
+import (
+	"tcstudy/internal/bitset"
+	"tcstudy/internal/slist"
+)
 
 // The BTC computation phase (Section 3.1): successor lists are expanded in
 // reverse topological order; each node's list is unioned with the *full*
@@ -17,6 +20,8 @@ type expander struct {
 	childSet  *bitset.Set // immediate children of the node
 	marked    *bitset.Set // children marked redundant by earlier unions
 	appendBuf []int32
+	childBuf  []int32        // reused child-prefix buffer
+	it        slist.Iterator // reused list iterator
 }
 
 func newExpander(n int) *expander {
@@ -39,8 +44,9 @@ func (x *expander) reset() {
 func (e *engine) loadChildren(v int32, exp *expander) ([]int32, error) {
 	exp.reset()
 	k := e.childCount[v]
-	children := make([]int32, 0, k)
-	it := e.store.NewIterator(v)
+	children := exp.childBuf[:0]
+	it := &exp.it
+	it.Reset(e.store, v)
 	for int32(len(children)) < k {
 		c, ok := it.Next()
 		if !ok {
@@ -52,6 +58,7 @@ func (e *engine) loadChildren(v int32, exp *expander) ([]int32, error) {
 		exp.childSet.Add(c)
 	}
 	it.Close()
+	exp.childBuf = children
 	return children, it.Err()
 }
 
@@ -64,7 +71,8 @@ func (e *engine) unionInto(v, j int32, exp *expander) error {
 	e.met.ListUnions++
 	e.met.noteUnmarked(e.levels[v] - e.levels[j])
 	exp.appendBuf = exp.appendBuf[:0]
-	it := e.store.NewIterator(j)
+	it := &exp.it
+	it.Reset(e.store, j)
 	for {
 		u, ok := it.Next()
 		if !ok {

@@ -1,21 +1,25 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/pagedisk"
 	"tcstudy/internal/slist"
 )
 
-// Concurrent query execution. The stored relations are immutable and the
-// simulated disk is mutex-guarded, so independent queries can run in
-// parallel, each with its own buffer pool and its own temporary files.
-// Page I/O is counted per pool, so every query's metric record is exactly
-// what a solo run would report (verified by TestConcurrentMatchesSerial).
+// Concurrent query execution. The stored relations are immutable (sealed,
+// so the striped disk serves them lock-free and the pools read them
+// zero-copy), and every query creates its temporary files through its own
+// tempTracker, so independent queries run in parallel without sharing any
+// mutable storage. Page I/O is counted per pool, so every query's metric
+// record is exactly what a solo run would report (verified by
+// TestConcurrentMatchesSerial).
 //
 // This extends the paper's single-threaded engine without changing it:
 // each individual query still executes the study's sequential two-phase
-// algorithm.
+// algorithm (unless Config.Parallelism asks a multi-source query to
+// partition its sources, see parallel.go).
 
 // Request is one query of a concurrent batch.
 type Request struct {
@@ -30,11 +34,76 @@ type Response struct {
 	Err    error
 }
 
+// tempTracker wraps the database's store and records every file created
+// through it, so the query that owns the tracker can release exactly its
+// own temporary files the moment it finishes — file IDs from concurrent
+// queries interleave, so a range sweep cannot attribute them.
+//
+// The embedded Store only promotes pagedisk.Store's method set; Sealed and
+// View are forwarded explicitly below, because losing them would silently
+// turn the zero-copy read path back into per-Get page copies for every
+// tracked query.
+type tempTracker struct {
+	pagedisk.Store
+	owned []pagedisk.FileID
+}
+
+func newTempTracker(s pagedisk.Store) *tempTracker { return &tempTracker{Store: s} }
+
+// CreateFile records the new file as owned by this tracker's query.
+func (t *tempTracker) CreateFile(name string) pagedisk.FileID {
+	id := t.Store.CreateFile(name)
+	t.owned = append(t.owned, id)
+	return id
+}
+
+// Sealed reports whether the wrapped store exposes f as sealed.
+func (t *tempTracker) Sealed(f pagedisk.FileID) bool {
+	v, ok := t.Store.(pagedisk.ReadOnlyViewer)
+	return ok && v.Sealed(f)
+}
+
+// View delegates to the wrapped store's zero-copy read path.
+func (t *tempTracker) View(f pagedisk.FileID, p pagedisk.PageID) (*pagedisk.Page, error) {
+	return t.Store.(pagedisk.ReadOnlyViewer).View(f, p)
+}
+
+var _ pagedisk.ReadOnlyViewer = (*tempTracker)(nil)
+
+// release truncates every file the tracker's query created. Storage is
+// reclaimed immediately; the (now empty) catalog entries remain, as the
+// simulated disk never reuses file IDs.
+func (t *tempTracker) release() {
+	for _, id := range t.owned {
+		t.Store.Truncate(id)
+	}
+	t.owned = t.owned[:0]
+}
+
+// runOwned executes one query with a private buffer pool and a private
+// temp-file tracker, releasing the query's temporary files when it
+// returns. It is the shared worker under Run, RunConcurrent and the
+// intra-query source partitioning.
+func runOwned(db *Database, alg Algorithm, q Query, cfg Config) (*Result, error) {
+	pagePol, err := newPagePolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	listPol, err := slist.NewListPolicy(cfg.ListPolicy)
+	if err != nil {
+		return nil, err
+	}
+	tracker := newTempTracker(db.disk)
+	defer tracker.release()
+	pool := buffer.New(tracker, cfg.BufferPages, pagePol)
+	return execute(db, pool, listPol, alg, q, cfg)
+}
+
 // RunConcurrent executes the requests in parallel over one database and
-// returns the responses in request order. Temporary files created by the
-// batch are released after every request finishes.
+// returns the responses in request order. Each request's temporary files
+// are released as that request finishes, so a large batch's temp storage
+// is bounded by the number of in-flight queries, not the batch size.
 func RunConcurrent(db *Database, reqs []Request) []Response {
-	baseFiles := db.disk.NumFiles()
 	out := make([]Response, len(reqs))
 	var wg sync.WaitGroup
 	for i := range reqs {
@@ -45,33 +114,20 @@ func RunConcurrent(db *Database, reqs []Request) []Response {
 		}(i)
 	}
 	wg.Wait()
-	// Release the batch's temporary storage. Individual truncation must
-	// wait for the whole batch: file IDs from different queries
-	// interleave.
-	for id := baseFiles; id < db.disk.NumFiles(); id++ {
-		db.disk.Truncate(fileID(id))
-	}
 	return out
 }
 
 func runOne(db *Database, r Request) Response {
 	cfg := r.Cfg.withDefaults()
-	if cfg.BufferPages < 4 {
-		return Response{Err: fmt.Errorf("core: buffer pool must have at least 4 pages, got %d", cfg.BufferPages)}
-	}
-	pagePol, err := newPagePolicy(cfg)
-	if err != nil {
+	if err := validate(db, r.Query, cfg); err != nil {
 		return Response{Err: err}
 	}
-	listPol, err := slist.NewListPolicy(cfg.ListPolicy)
-	if err != nil {
-		return Response{Err: err}
+	var res *Result
+	var err error
+	if parallelEligible(r.Query, cfg) {
+		res, err = runParallelSources(db, r.Alg, r.Query, cfg)
+	} else {
+		res, err = runOwned(db, r.Alg, r.Query, cfg)
 	}
-	for _, s := range r.Query.Sources {
-		if s < 1 || s > int32(db.n) {
-			return Response{Err: fmt.Errorf("core: source node %d outside 1..%d", s, db.n)}
-		}
-	}
-	res, err := execute(db, newPool(db, cfg, pagePol), listPol, r.Alg, r.Query, cfg)
 	return Response{Result: res, Err: err}
 }

@@ -64,6 +64,15 @@ type Config struct {
 	ChargeIndexIO bool
 	// DisableClustering turns off inter-list clustering (ablation).
 	DisableClustering bool
+	// Parallelism bounds the worker goroutines a multi-source PTC query may
+	// partition its sources across (0 or 1 runs the paper's serial engine).
+	// Each worker executes the full two-phase engine over its slice of the
+	// sources with a private buffer pool of BufferPages frames and private
+	// temporary files; the merged metric record is the sum of the workers'
+	// records (restructuring work repeats per worker, so parallel runs
+	// report more total I/O than a serial run — they trade pages for
+	// wall-clock time). CTC and single-source queries ignore the setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +121,9 @@ func NewDatabase(n int, arcs []graph.Arc) *Database {
 		n:    n,
 	}
 	db.buildIndexes()
+	// The base relations and indexes are complete and immutable from here
+	// on: seal them so concurrent queries read them lock-free and copy-free.
+	disk.SealAll()
 	return db
 }
 
@@ -150,6 +162,7 @@ func NewDatabaseWeighted(n int, arcs []graph.Arc, weight func(graph.Arc) int32) 
 		n:    n,
 	}
 	db.buildIndexes()
+	disk.SealAll()
 	return db, nil
 }
 
@@ -218,51 +231,49 @@ type Result struct {
 	Successors map[int32][]int32
 }
 
-// newPagePolicy and newPool are the shared construction helpers of the
-// Run, Session and RunPaths entry points.
+// newPagePolicy is the shared construction helper of the Run, Session and
+// RunPaths entry points.
 func newPagePolicy(cfg Config) (buffer.Policy, error) {
 	return buffer.NewPolicy(cfg.PagePolicy, cfg.BufferPages)
 }
 
-func newPool(db *Database, cfg Config, pol buffer.Policy) *buffer.Pool {
-	return buffer.New(db.disk, cfg.BufferPages, pol)
-}
-
 func fileID(id int) pagedisk.FileID { return pagedisk.FileID(id) }
+
+// validate checks a query/config pair against the database. Shared by the
+// Run, RunConcurrent and parallel-worker entry points.
+func validate(db *Database, q Query, cfg Config) error {
+	if cfg.BufferPages < 4 {
+		return fmt.Errorf("core: buffer pool must have at least 4 pages, got %d", cfg.BufferPages)
+	}
+	if _, err := buffer.NewPolicy(cfg.PagePolicy, cfg.BufferPages); err != nil {
+		return err
+	}
+	if _, err := slist.NewListPolicy(cfg.ListPolicy); err != nil {
+		return err
+	}
+	for _, s := range q.Sources {
+		if s < 1 || s > int32(db.n) {
+			return fmt.Errorf("core: source node %d outside 1..%d", s, db.n)
+		}
+	}
+	return nil
+}
 
 // Run executes one query with one algorithm under the given configuration.
 func Run(db *Database, alg Algorithm, q Query, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	if cfg.BufferPages < 4 {
-		return nil, fmt.Errorf("core: buffer pool must have at least 4 pages, got %d", cfg.BufferPages)
-	}
-	pagePol, err := buffer.NewPolicy(cfg.PagePolicy, cfg.BufferPages)
-	if err != nil {
+	if err := validate(db, q, cfg); err != nil {
 		return nil, err
 	}
-	listPol, err := slist.NewListPolicy(cfg.ListPolicy)
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range q.Sources {
-		if s < 1 || s > int32(db.n) {
-			return nil, fmt.Errorf("core: source node %d outside 1..%d", s, db.n)
-		}
-	}
-
 	// Each run measures from a cold buffer pool and a clean counter state,
 	// exactly as in the paper's per-query experiments. Temporary files the
 	// run creates (successor lists, trees, sort runs) are released when it
 	// finishes — the answer has been materialized by then.
 	db.disk.ResetStats()
-	baseFiles := db.disk.NumFiles()
-	defer func() {
-		for id := baseFiles; id < db.disk.NumFiles(); id++ {
-			db.disk.Truncate(pagedisk.FileID(id))
-		}
-	}()
-	pool := buffer.New(db.disk, cfg.BufferPages, pagePol)
-	return execute(db, pool, listPol, alg, q, cfg)
+	if parallelEligible(q, cfg) {
+		return runParallelSources(db, alg, q, cfg)
+	}
+	return runOwned(db, alg, q, cfg)
 }
 
 // engine is the per-run state shared by the algorithm implementations.

@@ -106,6 +106,7 @@ func (e *engine) computeTrees(preds, trees *slist.Store) error {
 	var ordered []treeNode
 	var predBuf []int32
 	var flat []int32
+	var it, tit slist.Iterator // reused across the hot loop
 
 	for _, x := range e.order { // forward topological order
 		for k := range present {
@@ -115,7 +116,7 @@ func (e *engine) computeTrees(preds, trees *slist.Store) error {
 
 		// Read x's immediate predecessors (stored nearest-first).
 		predBuf = predBuf[:0]
-		it := preds.NewIterator(x)
+		it.Reset(preds, x)
 		for {
 			p, ok := it.Next()
 			if !ok {
@@ -153,7 +154,7 @@ func (e *engine) computeTrees(preds, trees *slist.Store) error {
 					e.met.Duplicates++
 				}
 			}
-			tit := trees.NewIterator(p)
+			tit.Reset(trees, p)
 			for {
 				u, ok := tit.Next()
 				if !ok {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"tcstudy/internal/buffer"
 	"tcstudy/internal/slist"
 )
 
@@ -99,16 +100,12 @@ func runEngine(db *Database, q Query, cfg Config, fn func(*engine) error) (*Metr
 		}
 	}
 	db.disk.ResetStats()
-	baseFiles := db.disk.NumFiles()
-	defer func() {
-		for id := baseFiles; id < db.disk.NumFiles(); id++ {
-			db.disk.Truncate(fileID(id))
-		}
-	}()
+	tracker := newTempTracker(db.disk)
+	defer tracker.release()
 	e := &engine{
 		db:         db,
 		cfg:        cfg,
-		pool:       newPool(db, cfg, pagePol),
+		pool:       buffer.New(tracker, cfg.BufferPages, pagePol),
 		q:          q,
 		listPolicy: listPol,
 	}
@@ -151,6 +148,7 @@ func (e *engine) runPathAgg(agg PathAggregate, out *PathResult) error {
 	if err := e.timedPhase(false, func() error {
 		acc := make(map[int32]int64)
 		var flat []int32
+		var it slist.Iterator // reused across the hot loop
 		for i := len(e.order) - 1; i >= 0; i-- {
 			v := e.order[i]
 			for k := range acc {
@@ -171,7 +169,7 @@ func (e *engine) runPathAgg(agg PathAggregate, out *PathResult) error {
 				e.met.noteUnmarked(e.levels[v] - e.levels[c])
 				combineArc(agg, acc, c, w)
 				// Union with the child's aggregate list.
-				it := aggStore.NewIterator(c)
+				it.Reset(aggStore, c)
 				for {
 					u, ok := it.Next()
 					if !ok {

@@ -99,5 +99,8 @@ func OpenDatabase(dir string) (*Database, error) {
 	// The B+-trees are derived structures; rebuild them from the restored
 	// catalogs rather than persisting them.
 	db.buildIndexes()
+	// As in NewDatabase: the base files are immutable once the indexes
+	// exist, so seal them for lock-free, copy-free concurrent reads.
+	disk.SealAll()
 	return db, nil
 }

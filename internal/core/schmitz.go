@@ -209,6 +209,7 @@ func (e *engine) runSchmitz() error {
 				}
 				return external[a] < external[b]
 			})
+			var it slist.Iterator // reused across the child unions
 			for _, c := range external {
 				e.met.ArcsConsidered++
 				if !e.cfg.DisableMarking && marked.Has(c) {
@@ -218,7 +219,7 @@ func (e *engine) runSchmitz() error {
 				e.met.ListUnions++
 				e.met.TuplesGenerated++
 				add(c)
-				it := store.NewIterator(comp[c])
+				it.Reset(store, comp[c])
 				for {
 					u, ok := it.Next()
 					if !ok {

@@ -35,8 +35,9 @@ func (x *treeExpander) reset() {
 func (e *engine) loadTreeChildren(v int32, exp *treeExpander) ([]int32, error) {
 	exp.reset()
 	k := e.childCount[v]
-	children := make([]int32, 0, k)
-	it := e.store.NewIterator(v)
+	children := exp.childBuf[:0]
+	it := &exp.it
+	it.Reset(e.store, v)
 	for int32(len(children)) < k {
 		c, ok := it.Next()
 		if !ok {
@@ -51,6 +52,7 @@ func (e *engine) loadTreeChildren(v int32, exp *treeExpander) ([]int32, error) {
 		exp.childSet.Add(c)
 	}
 	it.Close()
+	exp.childBuf = children
 	return children, it.Err()
 }
 
@@ -61,7 +63,8 @@ func (e *engine) unionTree(v, j int32, exp *treeExpander) error {
 	exp.appendBuf = exp.appendBuf[:0]
 	exp.touched = exp.touched[:0]
 
-	it := e.store.NewIterator(j)
+	it := &exp.it
+	it.Reset(e.store, j)
 	skipping := false   // inside a group whose parent's subtree is present
 	groupOpen := false  // a group marker was emitted to appendBuf
 	var curParent int32 // parent of the group being read

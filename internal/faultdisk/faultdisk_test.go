@@ -249,3 +249,37 @@ func TestCorruptOneIsSeeded(t *testing.T) {
 		t.Errorf("CorruptOne changed %d files, want exactly 1", changed)
 	}
 }
+
+func TestViewInjectsLikeRead(t *testing.T) {
+	d := pagedisk.New()
+	f := d.CreateFile("base")
+	if _, err := d.Allocate(f); err != nil {
+		t.Fatal(err)
+	}
+	d.Seal(f)
+	// read@1 must fire on the second read-kind operation whether it is a
+	// Read or a View: views replace reads one-for-one in the sequence.
+	sched, _ := ParseSchedule("read@1")
+	s := Wrap(d, Options{Schedule: sched, ReadLatency: 3})
+	if !s.Sealed(f) {
+		t.Fatal("wrapped store does not report inner seal")
+	}
+	var pg pagedisk.Page
+	if err := s.Read(f, 0, &pg); err != nil {
+		t.Fatalf("read@0: %v", err)
+	}
+	if _, err := s.View(f, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("view at read-seq 1: err = %v, want ErrInjected", err)
+	}
+	if _, err := s.View(f, 0); err != nil {
+		t.Fatalf("view at read-seq 2: %v", err)
+	}
+	c := s.Counters()
+	if c.Reads != 3 || c.Injected != 1 {
+		t.Fatalf("counters = %+v, want 3 reads with 1 injected", c)
+	}
+	// Latency charged for the two successful read-kind ops only.
+	if c.Latency != 6 {
+		t.Fatalf("latency = %d, want 6", c.Latency)
+	}
+}

@@ -6,16 +6,28 @@
 // per-operation read/write accounting. All data lives in memory; "I/O" is a
 // counted event, exactly as in the paper's own experimental apparatus.
 //
-// The disk is safe for concurrent use: the catalog and page array are
-// guarded by a mutex, so multiple buffer pools (one per concurrent query)
-// can share one disk. Each individual query engine remains
-// single-threaded, as the paper's was.
+// The disk is safe for concurrent use and designed so that adding cores
+// adds throughput:
+//
+//   - the catalog (the file table) is guarded by one RWMutex that is only
+//     write-locked when a file is created;
+//   - each file carries its own lock (lock striping), so queries touching
+//     different files — which is the common case: every query owns its
+//     temporary files exclusively — never contend;
+//   - files can be sealed once fully built (Seal, SealAll). A sealed file
+//     is immutable: reads take no lock at all, and the View method hands
+//     out stable zero-copy pointers into the shared page storage, which
+//     the buffer pool uses to pin base-relation pages without copying;
+//   - I/O counters are atomics, so accounting never serializes readers.
+//
+// Each individual query engine remains single-threaded, as the paper's was.
 package pagedisk
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of a disk page in bytes (Section 5.1 of the paper).
@@ -56,6 +68,9 @@ func (s Stats) Sub(t Stats) Stats {
 // failure injection with FailAfter.
 var ErrIOInjected = errors.New("pagedisk: injected I/O failure")
 
+// ErrSealed is returned by Write and Allocate on a sealed file.
+var ErrSealed = errors.New("pagedisk: file is sealed")
+
 // Store is the page-storage seam between the disk and everything above it
 // (buffer pools, relations, successor-list stores). *Disk is the canonical
 // implementation; internal/faultdisk wraps any Store with deterministic
@@ -83,6 +98,24 @@ type Store interface {
 	ResetStats()
 }
 
+// ReadOnlyViewer is the optional zero-copy capability of a Store: pages of
+// a sealed (immutable) file can be handed out as stable pointers into the
+// shared storage instead of being copied on every read. The buffer pool
+// type-asserts for it and, when present, pins sealed pages without a copy.
+//
+// The contract: View is valid only for files on which Sealed reports true,
+// the returned page must never be written through, and the pointer stays
+// valid for the life of the store (a sealed file is never truncated,
+// extended or mutated). A View counts as one page read, exactly like Read,
+// so cost accounting is unchanged by the zero-copy path.
+type ReadOnlyViewer interface {
+	// Sealed reports whether file f is sealed (immutable).
+	Sealed(f FileID) bool
+	// View returns a stable read-only pointer to page p of sealed file f,
+	// counting one page read.
+	View(f FileID, p PageID) (*Page, error)
+}
+
 // transientFault is implemented by errors representing storage faults that
 // may succeed on retry (injected failures, simulated device hiccups), as
 // opposed to structural errors (out-of-range page, missing file) that will
@@ -102,23 +135,35 @@ func IsTransient(err error) bool {
 	return errors.As(err, &tf) && tf.TransientStorageFault()
 }
 
+// file is one striped disk file: its own lock guards the page array and
+// page contents while the file is mutable. Once sealed, both the array and
+// the contents are frozen and readers skip the lock entirely.
 type file struct {
-	name  string
-	pages []*Page
+	mu     sync.RWMutex
+	name   string
+	sealed atomic.Bool
+	pages  []*Page
 }
 
 // Disk is a simulated multi-file disk.
 type Disk struct {
-	mu    sync.Mutex
-	files []file
-	stats Stats
+	mu    sync.RWMutex // catalog lock: guards the files slice itself
+	files []*file
 
-	// failAfter, when >= 0, makes every Read/Write past that many further
-	// operations fail with ErrIOInjected. Used by failure-injection tests.
+	reads  atomic.Int64
+	writes atomic.Int64
+	allocs atomic.Int64
+
+	// Failure injection. The armed flag keeps the hot path lock-free; the
+	// countdown itself is exact under injectMu so tests can pin precise
+	// failure points even under concurrency.
+	armed     atomic.Bool
+	injectMu  sync.Mutex
 	failAfter int64
 }
 
 var _ Store = (*Disk)(nil)
+var _ ReadOnlyViewer = (*Disk)(nil)
 
 // New returns an empty disk.
 func New() *Disk {
@@ -130,66 +175,125 @@ func New() *Disk {
 func (d *Disk) CreateFile(name string) FileID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.files = append(d.files, file{name: name})
+	d.files = append(d.files, &file{name: name})
 	return FileID(len(d.files) - 1)
+}
+
+// lookup resolves a FileID to its striped file under the catalog read lock.
+// The returned pointer stays valid after the lock is released: files are
+// never removed and the structs are heap-allocated.
+func (d *Disk) lookup(f FileID) (*file, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(f) < 0 || int(f) >= len(d.files) {
+		return nil, fmt.Errorf("pagedisk: no such file %d", f)
+	}
+	return d.files[f], nil
+}
+
+// mustLookup is lookup for the methods whose signatures predate error
+// returns (catalog queries on invalid IDs are programming errors).
+func (d *Disk) mustLookup(f FileID) *file {
+	fl, err := d.lookup(f)
+	if err != nil {
+		panic(err.Error())
+	}
+	return fl
 }
 
 // FileName reports the name given to CreateFile.
 func (d *Disk) FileName(f FileID) string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.files[f].name
+	return d.mustLookup(f).name
 }
 
 // NumFiles reports the number of files on the disk.
 func (d *Disk) NumFiles() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.files)
 }
 
 // NumPages reports the current length of a file in pages.
 func (d *Disk) NumPages(f FileID) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.files[f].pages)
+	fl := d.mustLookup(f)
+	if fl.sealed.Load() {
+		return len(fl.pages)
+	}
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	return len(fl.pages)
 }
 
 // Allocate extends a file by one zeroed page and returns its ID. The
-// in-memory disk never fails an allocation; the error return exists for
-// Store implementations that do (fault injection, future bounded disks).
+// in-memory disk never fails an allocation on a mutable file; the error
+// return also serves Store implementations that do (fault injection,
+// future bounded disks).
 func (d *Disk) Allocate(f FileID) (PageID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	fl := &d.files[f]
+	fl, err := d.lookup(f)
+	if err != nil {
+		return InvalidPage, err
+	}
+	if fl.sealed.Load() {
+		return InvalidPage, fmt.Errorf("pagedisk: allocate on sealed file %q: %w", fl.name, ErrSealed)
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
 	fl.pages = append(fl.pages, new(Page))
-	d.stats.Allocs++
+	d.allocs.Add(1)
 	return PageID(len(fl.pages) - 1), nil
 }
 
 // Truncate discards all pages of a file. It models dropping a temporary
-// file; no I/O is charged.
+// file; no I/O is charged. Truncating a sealed file is a programming error.
 func (d *Disk) Truncate(f FileID) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.files[f].pages = d.files[f].pages[:0]
+	fl := d.mustLookup(f)
+	if fl.sealed.Load() {
+		panic(fmt.Sprintf("pagedisk: truncate of sealed file %q", fl.name))
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.pages = fl.pages[:0]
 }
 
-func (d *Disk) check(f FileID, p PageID) error {
-	if int(f) < 0 || int(f) >= len(d.files) {
-		return fmt.Errorf("pagedisk: no such file %d", f)
+// Seal marks file f immutable. From this point its pages can be read with
+// no locking and handed out as zero-copy views; writes, allocations and
+// truncation are rejected. Sealing is one-way and happens at database
+// construction time, before any concurrent access.
+func (d *Disk) Seal(f FileID) {
+	d.mustLookup(f).sealed.Store(true)
+}
+
+// SealAll seals every file currently on the disk — the "database is built,
+// serving starts now" transition.
+func (d *Disk) SealAll() {
+	d.mu.RLock()
+	files := d.files
+	d.mu.RUnlock()
+	for _, fl := range files {
+		fl.sealed.Store(true)
 	}
-	if p < 0 || int(p) >= len(d.files[f].pages) {
+}
+
+// Sealed reports whether file f is sealed. Unknown files report false.
+func (d *Disk) Sealed(f FileID) bool {
+	fl, err := d.lookup(f)
+	return err == nil && fl.sealed.Load()
+}
+
+func checkPage(fl *file, p PageID) error {
+	if p < 0 || int(p) >= len(fl.pages) {
 		return fmt.Errorf("pagedisk: page %d out of range for file %q (%d pages)",
-			p, d.files[f].name, len(d.files[f].pages))
+			p, fl.name, len(fl.pages))
 	}
 	return nil
 }
 
 func (d *Disk) inject() error {
-	if d.failAfter < 0 {
+	if !d.armed.Load() {
 		return nil
 	}
+	d.injectMu.Lock()
+	defer d.injectMu.Unlock()
 	if d.failAfter == 0 {
 		return ErrIOInjected
 	}
@@ -197,57 +301,105 @@ func (d *Disk) inject() error {
 	return nil
 }
 
-// Read copies page p of file f into dst and counts one page read.
+// Read copies page p of file f into dst and counts one page read. Sealed
+// files are read without taking any lock.
 func (d *Disk) Read(f FileID, p PageID, dst *Page) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.check(f, p); err != nil {
+	fl, err := d.lookup(f)
+	if err != nil {
+		return err
+	}
+	if fl.sealed.Load() {
+		if err := checkPage(fl, p); err != nil {
+			return err
+		}
+		if err := d.inject(); err != nil {
+			return err
+		}
+		*dst = *fl.pages[p]
+		d.reads.Add(1)
+		return nil
+	}
+	fl.mu.RLock()
+	defer fl.mu.RUnlock()
+	if err := checkPage(fl, p); err != nil {
 		return err
 	}
 	if err := d.inject(); err != nil {
 		return err
 	}
-	*dst = *d.files[f].pages[p]
-	d.stats.Reads++
+	*dst = *fl.pages[p]
+	d.reads.Add(1)
 	return nil
+}
+
+// View returns a stable zero-copy pointer to page p of sealed file f,
+// counting one page read (the cost model is indifferent to whether the
+// transfer copied). It implements ReadOnlyViewer; callers must not write
+// through the returned page.
+func (d *Disk) View(f FileID, p PageID) (*Page, error) {
+	fl, err := d.lookup(f)
+	if err != nil {
+		return nil, err
+	}
+	if !fl.sealed.Load() {
+		return nil, fmt.Errorf("pagedisk: zero-copy view of unsealed file %q", fl.name)
+	}
+	if err := checkPage(fl, p); err != nil {
+		return nil, err
+	}
+	if err := d.inject(); err != nil {
+		return nil, err
+	}
+	d.reads.Add(1)
+	return fl.pages[p], nil
 }
 
 // Write copies src into page p of file f and counts one page write.
 func (d *Disk) Write(f FileID, p PageID, src *Page) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.check(f, p); err != nil {
+	fl, err := d.lookup(f)
+	if err != nil {
+		return err
+	}
+	if fl.sealed.Load() {
+		return fmt.Errorf("pagedisk: write to sealed file %q: %w", fl.name, ErrSealed)
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if err := checkPage(fl, p); err != nil {
 		return err
 	}
 	if err := d.inject(); err != nil {
 		return err
 	}
-	*d.files[f].pages[p] = *src
-	d.stats.Writes++
+	*fl.pages[p] = *src
+	d.writes.Add(1)
 	return nil
 }
 
 // Stats returns the cumulative I/O counters.
 func (d *Disk) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		Reads:  d.reads.Load(),
+		Writes: d.writes.Load(),
+		Allocs: d.allocs.Load(),
+	}
 }
 
 // ResetStats zeroes the I/O counters. Harnesses call this after loading the
 // input relation so that database-construction I/O is not charged to the
 // query, mirroring the paper's setup where the relation pre-exists.
 func (d *Disk) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
+	d.reads.Store(0)
+	d.writes.Store(0)
+	d.allocs.Store(0)
 }
 
 // FailAfter arms failure injection: after n further successful page
-// transfers, every Read and Write fails with ErrIOInjected. A negative n
-// disarms injection.
+// transfers, every Read, View and Write fails with ErrIOInjected. A
+// negative n disarms injection.
 func (d *Disk) FailAfter(n int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.injectMu.Lock()
 	d.failAfter = n
+	d.injectMu.Unlock()
+	d.armed.Store(n >= 0)
 }

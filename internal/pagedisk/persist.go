@@ -36,25 +36,33 @@ func snapshotPath(dir string, f FileID) string {
 }
 
 // Save writes every file of the disk into dir, creating it if needed.
-// Existing snapshot files in dir are overwritten. The disk is quiesced
-// (its mutex held) for the duration, so snapshots are consistent even if
-// other goroutines are querying.
+// Existing snapshot files in dir are overwritten. Each file is quiesced
+// (its stripe lock held, unless it is sealed and therefore immutable) while
+// it is encoded, so snapshots are consistent even if other goroutines are
+// querying.
 func (d *Disk) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for id := range d.files {
-		if err := d.saveFile(dir, FileID(id)); err != nil {
+	d.mu.RLock()
+	files := append([]*file(nil), d.files...)
+	d.mu.RUnlock()
+	for id, fl := range files {
+		if !fl.sealed.Load() {
+			fl.mu.RLock()
+		}
+		err := saveFile(dir, FileID(id), fl)
+		if !fl.sealed.Load() {
+			fl.mu.RUnlock()
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (d *Disk) saveFile(dir string, id FileID) error {
-	fl := &d.files[id]
+func saveFile(dir string, id FileID, fl *file) error {
 	f, err := os.Create(snapshotPath(dir, id))
 	if err != nil {
 		return err
@@ -138,46 +146,46 @@ func (d *Disk) loadFile(path string) error {
 	}
 	d.mu.Lock()
 	d.files = append(d.files, f)
-	// Loading is catalog reconstruction, not simulated I/O.
-	d.stats = Stats{}
 	d.mu.Unlock()
+	// Loading is catalog reconstruction, not simulated I/O.
+	d.ResetStats()
 	return nil
 }
 
 // parseSnapshot decodes the body of one snapshot file. It is the
 // fuzz-exercised decoder: arbitrary input must produce an error or a valid
 // file, never a panic and never unbounded allocation.
-func parseSnapshot(raw []byte) (file, error) {
+func parseSnapshot(raw []byte) (*file, error) {
 	const headerLen = len(snapshotMagic) + 4 + 4 // magic, version, name length
 	if len(raw) < headerLen+4+4 {                // + page count + crc
-		return file{}, fmt.Errorf("truncated snapshot (%d bytes)", len(raw))
+		return nil, fmt.Errorf("truncated snapshot (%d bytes)", len(raw))
 	}
 	if string(raw[:len(snapshotMagic)]) != snapshotMagic {
-		return file{}, fmt.Errorf("bad magic %q", raw[:len(snapshotMagic)])
+		return nil, fmt.Errorf("bad magic %q", raw[:len(snapshotMagic)])
 	}
 	body, trailer := raw[len(snapshotMagic):len(raw)-4], raw[len(raw)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
-		return file{}, fmt.Errorf("checksum mismatch (file %08x, computed %08x): torn write or corruption", want, got)
+		return nil, fmt.Errorf("checksum mismatch (file %08x, computed %08x): torn write or corruption", want, got)
 	}
 	if v := binary.LittleEndian.Uint32(body); v != snapshotVersion {
-		return file{}, fmt.Errorf("unsupported snapshot version %d (want %d)", v, snapshotVersion)
+		return nil, fmt.Errorf("unsupported snapshot version %d (want %d)", v, snapshotVersion)
 	}
 	nameLen := binary.LittleEndian.Uint32(body[4:])
 	if nameLen > 1<<16 {
-		return file{}, fmt.Errorf("implausible name length %d", nameLen)
+		return nil, fmt.Errorf("implausible name length %d", nameLen)
 	}
 	rest := body[8:]
 	if uint64(len(rest)) < uint64(nameLen)+4 {
-		return file{}, fmt.Errorf("name section truncated")
+		return nil, fmt.Errorf("name section truncated")
 	}
 	name := string(rest[:nameLen])
 	rest = rest[nameLen:]
 	nPages := binary.LittleEndian.Uint32(rest)
 	rest = rest[4:]
 	if uint64(len(rest)) != uint64(nPages)*PageSize {
-		return file{}, fmt.Errorf("header promises %d pages but %d bytes of page data follow", nPages, len(rest))
+		return nil, fmt.Errorf("header promises %d pages but %d bytes of page data follow", nPages, len(rest))
 	}
-	f := file{name: name, pages: make([]*Page, 0, nPages)}
+	f := &file{name: name, pages: make([]*Page, 0, nPages)}
 	for p := uint32(0); p < nPages; p++ {
 		pg := new(Page)
 		copy(pg[:], rest[uint64(p)*PageSize:])

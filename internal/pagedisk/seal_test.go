@@ -1,0 +1,159 @@
+package pagedisk
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func sealedFixture(t *testing.T) (*Disk, FileID) {
+	t.Helper()
+	d := New()
+	f := d.CreateFile("base")
+	for i := 0; i < 4; i++ {
+		p, err := d.Allocate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pg Page
+		pg[0] = byte(i + 1)
+		if err := d.Write(f, p, &pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Seal(f)
+	return d, f
+}
+
+func TestSealRejectsMutation(t *testing.T) {
+	d, f := sealedFixture(t)
+	var pg Page
+	if err := d.Write(f, 0, &pg); !errors.Is(err, ErrSealed) {
+		t.Fatalf("write to sealed file: err = %v, want ErrSealed", err)
+	}
+	if _, err := d.Allocate(f); !errors.Is(err, ErrSealed) {
+		t.Fatalf("allocate on sealed file: err = %v, want ErrSealed", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("truncate of sealed file did not panic")
+		}
+	}()
+	d.Truncate(f)
+}
+
+func TestSealedReadAndViewAgree(t *testing.T) {
+	d, f := sealedFixture(t)
+	d.ResetStats()
+	var buf Page
+	if err := d.Read(f, 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.View(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *v != buf {
+		t.Fatal("View and Read disagree on sealed page contents")
+	}
+	// Both paths charge exactly one page read.
+	if st := d.Stats(); st.Reads != 2 {
+		t.Fatalf("Reads = %d after one Read and one View, want 2", st.Reads)
+	}
+	// The view is stable: asking again returns the same storage.
+	v2, err := d.View(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != v2 {
+		t.Fatal("View returned a different pointer for the same sealed page")
+	}
+}
+
+func TestViewRequiresSeal(t *testing.T) {
+	d := New()
+	f := d.CreateFile("tmp")
+	if _, err := d.Allocate(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.View(f, 0); err == nil {
+		t.Fatal("View of unsealed file succeeded")
+	}
+	if d.Sealed(f) {
+		t.Fatal("unsealed file reports Sealed")
+	}
+	if _, err := d.View(f, 99); err == nil {
+		t.Fatal("View of out-of-range page succeeded")
+	}
+	if _, err := d.View(FileID(42), 0); err == nil {
+		t.Fatal("View of missing file succeeded")
+	}
+}
+
+func TestViewHonoursFailureInjection(t *testing.T) {
+	d, f := sealedFixture(t)
+	d.FailAfter(1)
+	if _, err := d.View(f, 0); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := d.View(f, 0); !errors.Is(err, ErrIOInjected) {
+		t.Fatalf("op 2 err = %v, want ErrIOInjected", err)
+	}
+	d.FailAfter(-1)
+	if _, err := d.View(f, 0); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+// TestConcurrentSealedReadsAndTempWrites is the striping contract under
+// -race: many goroutines read one sealed file lock-free while each also
+// hammers its own private temp file, exactly the shape of a concurrent
+// query batch.
+func TestConcurrentSealedReadsAndTempWrites(t *testing.T) {
+	d, f := sealedFixture(t)
+	d.ResetStats()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tmp := d.CreateFile("tmp")
+			p, err := d.Allocate(tmp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var buf Page
+			for i := 0; i < 200; i++ {
+				if err := d.Read(f, PageID(i%4), &buf); err != nil {
+					t.Error(err)
+					return
+				}
+				v, err := d.View(f, PageID(i%4))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v[0] != byte(i%4+1) || buf[0] != byte(i%4+1) {
+					t.Errorf("worker %d read wrong sealed contents", w)
+					return
+				}
+				buf[1] = byte(w)
+				if err := d.Write(tmp, p, &buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			d.Truncate(tmp)
+		}(w)
+	}
+	wg.Wait()
+	st := d.Stats()
+	if want := int64(workers * 200 * 2); st.Reads != want {
+		t.Fatalf("Reads = %d, want %d", st.Reads, want)
+	}
+	if want := int64(workers * 200); st.Writes != want {
+		t.Fatalf("Writes = %d, want %d", st.Writes, want)
+	}
+}

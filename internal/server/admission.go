@@ -10,9 +10,10 @@ import (
 
 // Admission control. The engine's unit of safe concurrency is the
 // core.RunConcurrent batch: queries of one batch run in parallel over the
-// shared database and their temporary files are released together when the
-// whole batch finishes (per-request truncation is impossible — file IDs
-// from different queries interleave). The dispatcher therefore serves
+// shared database, and each request's temporary files are released the
+// moment that request finishes (tracked per owner, so a long-running
+// straggler no longer pins the whole batch's temp storage). The
+// dispatcher serves
 // continuous traffic as a sequence of batches: it blocks for the next
 // queued job, tops the batch up to the worker limit without waiting, runs
 // the batch, and repeats. The queue in front of the batch loop is bounded;

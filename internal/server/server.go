@@ -211,6 +211,10 @@ func isDeadline(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
+// maxRequestParallelism caps the intra-query worker count any single
+// request may ask for.
+const maxRequestParallelism = 64
+
 // queryRequest is the body of POST /v1/query. Unset configuration fields
 // inherit the server defaults.
 type queryRequest struct {
@@ -221,6 +225,11 @@ type queryRequest struct {
 	PagePolicy  string  `json:"page_policy,omitempty"`
 	ListPolicy  string  `json:"list_policy,omitempty"`
 	ILIMIT      float64 `json:"ilimit,omitempty"`
+	// Parallelism partitions a multi-source query's sources across worker
+	// goroutines inside the engine (0 inherits the server default; 1 forces
+	// serial). Bounded server-side to keep one request from monopolizing
+	// the host.
+	Parallelism int `json:"parallelism,omitempty"`
 	// TimeoutMS overrides the server's default request deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// IncludeSuccessors adds the full successor sets to the response
@@ -341,6 +350,13 @@ func (s *Server) buildRequest(alg string, sources []int32, qr queryRequest) (cor
 	if qr.ILIMIT != 0 {
 		cfg.ILIMIT = qr.ILIMIT
 	}
+	if qr.Parallelism != 0 {
+		cfg.Parallelism = qr.Parallelism
+	}
+	if cfg.Parallelism < 0 || cfg.Parallelism > maxRequestParallelism {
+		return core.Request{}, badRequest("parallelism must be between 0 and %d, got %d",
+			maxRequestParallelism, cfg.Parallelism)
+	}
 	if cfg.BufferPages < 4 {
 		return core.Request{}, badRequest("buffer pool must have at least 4 pages, got %d", cfg.BufferPages)
 	}
@@ -361,9 +377,10 @@ func cacheKey(req core.Request) string {
 	srcs := append([]int32(nil), req.Query.Sources...)
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|m=%d|pp=%s|lp=%s|il=%g|nomark=%t|idx=%t|noclus=%t|s=",
+	fmt.Fprintf(&b, "%s|m=%d|pp=%s|lp=%s|il=%g|nomark=%t|idx=%t|noclus=%t|par=%d|s=",
 		req.Alg, req.Cfg.BufferPages, req.Cfg.PagePolicy, req.Cfg.ListPolicy,
-		req.Cfg.ILIMIT, req.Cfg.DisableMarking, req.Cfg.ChargeIndexIO, req.Cfg.DisableClustering)
+		req.Cfg.ILIMIT, req.Cfg.DisableMarking, req.Cfg.ChargeIndexIO, req.Cfg.DisableClustering,
+		req.Cfg.Parallelism)
 	var last int32 = -1
 	for _, v := range srcs {
 		if v == last {

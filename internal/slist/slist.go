@@ -78,6 +78,12 @@ type Store struct {
 
 	stats Stats
 
+	// Scratch buffers reused across calls so the hot paths (appends that
+	// split, chain walks) do not allocate per operation.
+	ownerScratch []int32
+	relocScratch []int32
+	pageScratch  []pagedisk.PageID
+
 	// clusterOff disables inter-list packing (each new list gets its own
 	// page); used by the clustering ablation.
 	clusterOff bool
@@ -347,21 +353,32 @@ func (s *Store) overflow(id int32) error {
 }
 
 // ownersOnPage lists the distinct list IDs other than exclude that own
-// blocks on the page.
+// blocks on the page. The result aliases the store's scratch buffer and is
+// valid until the next call; a page holds at most BlocksPerPage owners, so
+// linear dedup beats a map allocation.
 func (s *Store) ownersOnPage(pg *pagedisk.Page, exclude int32) []int32 {
 	bm := pageBitmap(pg)
-	var out []int32
-	seen := map[int32]bool{}
+	out := s.ownerScratch[:0]
 	for b := int16(0); b < BlocksPerPage; b++ {
 		if bm&(1<<uint(b)) == 0 {
 			continue
 		}
 		o := blockOwner(pg, b)
-		if o != exclude && !seen[o] {
-			seen[o] = true
+		if o == exclude {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == o {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, o)
 		}
 	}
+	s.ownerScratch = out
 	return out
 }
 
@@ -379,9 +396,11 @@ func (s *Store) split(page pagedisk.PageID, growing int32, victims []int32) erro
 // its blocks freed, and the contents re-appended onto a dedicated page run.
 // All page traffic goes through the pool and is counted.
 func (s *Store) relocate(id int32) error {
-	// Read the full contents.
-	vals := make([]int32, 0, s.length[id])
-	it := s.NewIterator(id)
+	// Read the full contents into the reusable scratch buffer (relocation
+	// happens on every split; per-split allocation would dominate).
+	vals := s.relocScratch[:0]
+	var it Iterator
+	it.Reset(s, id)
 	for {
 		v, ok := it.Next()
 		if !ok {
@@ -390,6 +409,7 @@ func (s *Store) relocate(id int32) error {
 		vals = append(vals, v)
 	}
 	it.Close()
+	s.relocScratch = vals
 	if err := it.Err(); err != nil {
 		return err
 	}
@@ -513,10 +533,25 @@ type Iterator struct {
 }
 
 // NewIterator returns an iterator positioned before the first entry.
+// Hot loops that walk many lists should hold a value Iterator and Reset it
+// instead, which avoids one heap allocation per list.
 func (s *Store) NewIterator(id int32) *Iterator {
+	it := new(Iterator)
+	it.Reset(s, id)
+	return it
+}
+
+// Reset repositions the iterator before the first entry of list id in
+// store s, releasing any page the previous walk still holds pinned. A
+// zero-value Iterator may be Reset directly; after Reset the iterator is
+// exactly as fresh as one from NewIterator.
+func (it *Iterator) Reset(s *Store, id int32) {
+	if it.s != nil {
+		it.release()
+	}
 	s.clock++
 	s.lastUse[id] = s.clock
-	return &Iterator{s: s, cur: s.head[id], pinned: pagedisk.InvalidPage}
+	*it = Iterator{s: s, cur: s.head[id], pinned: pagedisk.InvalidPage}
 }
 
 // Next returns the next entry. ok is false at the end of the list or on
@@ -603,16 +638,17 @@ func (s *Store) ReadAll(id int32) ([]int32, error) {
 // to reblock.
 func (s *Store) PinList(id int32) ([]buffer.Handle, error) {
 	var handles []buffer.Handle
-	seen := map[pagedisk.PageID]bool{}
+	seen := s.seenPages()
 	ref := s.head[id]
 	for ref.valid() {
-		if !seen[ref.Page] {
+		if !pageSeen(seen, ref.Page) {
 			h, err := s.pool.Get(s.file, ref.Page)
 			if err != nil {
 				s.UnpinAll(handles)
 				return nil, err
 			}
-			seen[ref.Page] = true
+			seen = append(seen, ref.Page)
+			s.pageScratch = seen
 			handles = append(handles, h)
 		}
 		// The page is pinned; read the next pointer through the pool (hit).
@@ -644,7 +680,7 @@ func (s *Store) NumPagesUsed() int { return s.pool.Disk().NumPages(s.file) }
 // the query source nodes out to disk" step. Locating the chain goes
 // through the buffer pool and is charged as usual.
 func (s *Store) FlushList(id int32) error {
-	seen := map[pagedisk.PageID]bool{}
+	seen := s.seenPages()
 	ref := s.head[id]
 	for ref.valid() {
 		h, err := s.pool.Get(s.file, ref.Page)
@@ -653,8 +689,9 @@ func (s *Store) FlushList(id int32) error {
 		}
 		next := blockNext(h.Data(), ref.Blk)
 		s.pool.Unpin(&h, false)
-		if !seen[ref.Page] {
-			seen[ref.Page] = true
+		if !pageSeen(seen, ref.Page) {
+			seen = append(seen, ref.Page)
+			s.pageScratch = seen
 			if err := s.pool.FlushPage(s.file, ref.Page); err != nil {
 				return err
 			}
@@ -662,6 +699,20 @@ func (s *Store) FlushList(id int32) error {
 		ref = next
 	}
 	return nil
+}
+
+// seenPages returns the empty reusable distinct-page scratch buffer. A
+// list's chain touches few distinct pages, so linear membership tests
+// (pageSeen) are cheaper than a per-call map.
+func (s *Store) seenPages() []pagedisk.PageID { return s.pageScratch[:0] }
+
+func pageSeen(seen []pagedisk.PageID, p pagedisk.PageID) bool {
+	for _, q := range seen {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 // DiscardAll invalidates every resident page of the store without writing,
