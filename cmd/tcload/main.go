@@ -339,7 +339,7 @@ func fetchNodes(c *http.Client, addr string) (int, error) {
 }
 
 func printServerMetrics(c *http.Client, addr string) {
-	resp, err := c.Get(addr + "/metrics")
+	resp, err := c.Get(addr + "/metrics?format=json")
 	if err != nil {
 		return
 	}

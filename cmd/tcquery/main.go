@@ -9,10 +9,18 @@
 //	tcquery -alg jkb2 -n 2000 -f 5 -l 20 -sources 3,250,1999 -m 10
 //	tcquery -alg srch -input graph.txt -sources 1 -show
 //	tcquery -index graph.idx -sources 1 -show   # prebuilt index, zero page I/O
+//	tcquery -alg hyb -n 2000 -sources 3,250 -trace   # append the span tree as JSON
+//
+// With -trace the run carries a phase-span tracer and the nested span tree
+// — query → restructure/compute → per-source or per-worker — is printed as
+// JSON after the metric record, each span annotated with its page-I/O
+// delta. This is the offline end of the server's slow-query log: the
+// logged replay command is a tcquery -trace invocation.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +33,7 @@ import (
 	"tcstudy/internal/graph"
 	"tcstudy/internal/graphgen"
 	"tcstudy/internal/index"
+	"tcstudy/internal/obsv"
 	"tcstudy/internal/planner"
 )
 
@@ -48,6 +57,7 @@ func main() {
 		show       = flag.Bool("show", false, "print the computed successor sets")
 		plan       = flag.Bool("plan", false, "print the planner's cost estimates before running")
 		agg        = flag.String("agg", "", "run a generalized-closure aggregate instead: minhops, maxhops, pathcount")
+		trace      = flag.Bool("trace", false, "record phase spans and print the span tree as JSON after the metric record")
 	)
 	flag.Parse()
 
@@ -127,6 +137,11 @@ func main() {
 		ILIMIT:      *ilimit,
 		Parallelism: *parallel,
 	}
+	var tracer *obsv.Tracer
+	if *trace {
+		tracer = obsv.NewTracer()
+		cfg.Trace = tracer.Start("query", obsv.KV("algorithm", *alg))
+	}
 
 	if *agg != "" {
 		pres, err := core.RunPaths(db, core.PathAggregate(*agg), q, cfg)
@@ -150,6 +165,7 @@ func main() {
 				fmt.Printf("%d -> %d reachable nodes\n", k, len(pres.Values[k]))
 			}
 		}
+		printTrace(tracer, cfg.Trace)
 		return
 	}
 
@@ -184,6 +200,7 @@ func main() {
 		fmt.Printf("magic graph          %d nodes, %d arcs, H=%.1f W=%.1f (free from restructuring, Theorem 2)\n",
 			mt.MagicNodes, mt.MagicArcs, mt.MagicH, mt.MagicW)
 	}
+	printTrace(tracer, cfg.Trace)
 
 	if *show {
 		var keys []int32
@@ -254,6 +271,24 @@ func runIndexQuery(path, sources string, show bool) {
 		for _, k := range keys {
 			fmt.Printf("%d -> %v\n", k, succ[k])
 		}
+	}
+}
+
+// printTrace finishes the root span and prints the span tree as indented
+// JSON. A nil tracer (no -trace flag) is a no-op.
+func printTrace(tracer *obsv.Tracer, root *obsv.Span) {
+	if tracer == nil {
+		return
+	}
+	root.Finish()
+	fmt.Println("trace:")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tracer.Records()); err != nil {
+		fatal(err)
+	}
+	if d := tracer.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "tcquery: %d spans dropped (cap %d)\n", d, obsv.DefaultMaxSpans)
 	}
 }
 

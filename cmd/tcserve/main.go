@@ -8,7 +8,8 @@
 //	GET  /v1/reach?src=&dst=  boolean reachability fast path
 //	GET  /v1/plan             planner ranking for the loaded graph
 //	GET  /healthz             liveness + graph shape
-//	GET  /metrics             QPS, latency quantiles, cache and I/O counters
+//	GET  /metrics             Prometheus text format (?format=json for the JSON snapshot)
+//	GET  /debug/traces        span trees of recent requests, newest first
 //
 // Examples:
 //
@@ -16,10 +17,16 @@
 //	tcserve -addr :8080 -db /var/lib/tc/db -workers 16 -cache 1024
 //	tcserve -addr :8080 -n 2000 -index g.idx   # O(1) /v1/reach via tcindex build
 //	tcserve -addr :8080 -pprof localhost:6060 -parallelism 4
+//	tcserve -addr :8080 -n 2000 -slowlog 250ms -tracebuf 256
 //
 // With -index, GET /v1/reach is answered from the prebuilt reachability
 // index (zero page I/O, no engine work); the engine path remains the
 // fallback while the index is absent or stale.
+//
+// Requests are traced by default (-tracebuf 64 recent span trees behind
+// /debug/traces; 0 disables). With -slowlog, every request over the
+// threshold is logged with its phase I/O split and a tcquery command line
+// that replays the same engine work offline. See docs/OBSERVABILITY.md.
 //
 // SIGINT/SIGTERM shut the server down gracefully: listeners close first,
 // then in-flight and queued queries drain.
@@ -62,6 +69,8 @@ func main() {
 		indexFile  = flag.String("index", "", "serve /v1/reach from this prebuilt reachability index (tcindex build)")
 		par        = flag.Int("parallelism", 0, "default intra-query source parallelism (0 = serial)")
 		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
+		traceBuf   = flag.Int("tracebuf", 64, "recent request span trees kept for /debug/traces (0 disables tracing)")
+		slowLog    = flag.Duration("slowlog", 0, "log requests slower than this with span tree and replay command (0 disables)")
 	)
 	flag.Parse()
 
@@ -97,6 +106,14 @@ func main() {
 		}
 	}
 
+	// The replay fragment reconstructs the served graph for slow-query log
+	// entries: tcquery <replayArgs> <request flags> -trace reruns the same
+	// engine work offline.
+	replayArgs := fmt.Sprintf("-n %d -f %d -l %d -seed %d", *n, *f, *l, *seed)
+	if *dbDir != "" {
+		replayArgs = fmt.Sprintf("-db %s", *dbDir)
+	}
+
 	srv := server.New(db, server.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -108,7 +125,10 @@ func main() {
 			ListPolicy:  *listPolicy,
 			Parallelism: *par,
 		},
-		Index: idx,
+		Index:       idx,
+		TraceBuffer: *traceBuf,
+		SlowQuery:   *slowLog,
+		ReplayArgs:  replayArgs,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

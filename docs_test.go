@@ -1,0 +1,79 @@
+package tcstudy_test
+
+// Documentation link checking: every relative markdown link in README and
+// docs/ must resolve to a file in the repository, and every file in docs/
+// must be reachable from the README — a new doc that nobody links to is a
+// doc nobody finds. This is the test half of the CI docs job; the other
+// half (gofmt, go vet) runs as commands.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are not used in this repo.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, docs...)
+}
+
+func TestMarkdownLinksResolve(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external links and same-page anchors: not checked
+			}
+			target = strings.SplitN(target, "#", 2)[0] // strip anchors
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestDocsReachableFromReadme keeps the README's doc list complete: every
+// file under docs/ must be linked (or at least mentioned by name) in
+// README.md.
+func TestDocsReachableFromReadme(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no docs found")
+	}
+	for _, d := range docs {
+		rel := filepath.ToSlash(d)
+		if !strings.Contains(string(readme), rel) {
+			t.Errorf("README.md does not reference %s", rel)
+		}
+	}
+}

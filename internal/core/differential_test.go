@@ -55,9 +55,9 @@ func TestDifferentialAgainstBFS(t *testing.T) {
 	pools := []int{4, 10}
 	for i := 0; i < nSeeds; i++ {
 		seed := int64(3000 + i)
-		n := 50 + (i%5)*20       // 50..130 nodes
-		f := 2 + i%4             // out-degree 2..5
-		l := 10 + (i%3)*20       // locality 10, 30, 50
+		n := 50 + (i%5)*20 // 50..130 nodes
+		f := 2 + i%4       // out-degree 2..5
+		l := 10 + (i%3)*20 // locality 10, 30, 50
 		g, db := randomDAG(t, seed, n, f, l)
 		want := bfsReference(n, g.Arcs())
 		for _, m := range pools {

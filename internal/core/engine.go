@@ -7,6 +7,7 @@ import (
 	"tcstudy/internal/buffer"
 	"tcstudy/internal/graph"
 	"tcstudy/internal/graphgen"
+	"tcstudy/internal/obsv"
 	"tcstudy/internal/pagedisk"
 	"tcstudy/internal/relation"
 	"tcstudy/internal/slist"
@@ -73,6 +74,14 @@ type Config struct {
 	// report more total I/O than a serial run — they trade pages for
 	// wall-clock time). CTC and single-source queries ignore the setting.
 	Parallelism int
+	// Trace, when non-nil, is the parent span the engine hangs its phase
+	// spans under: "restructure" and "compute" spans carrying the exact
+	// page-I/O deltas of the metric record, with per-source expansion spans
+	// (SRCH) and per-worker partition spans (Parallelism) nested inside.
+	// Tracing costs one nil check per phase when disabled. The field never
+	// participates in behaviour, caching or persistence — two runs differing
+	// only in Trace perform identical work.
+	Trace *obsv.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -304,6 +313,11 @@ type engine struct {
 	// by-product (JKB), never with charged I/O beyond what the paper's
 	// algorithms perform.
 	answer map[int32][]int32
+
+	// phaseSpan is the open span of the phase currently under timedPhase
+	// (nil when tracing is off), so algorithms can nest finer-grained spans
+	// — SRCH's per-source expansions — inside it.
+	phaseSpan *obsv.Span
 }
 
 // sources returns the effective source set: the query's sources for PTC, or
@@ -321,12 +335,30 @@ func (e *engine) sources() []int32 {
 }
 
 // timedPhase runs fn, attributing elapsed time and I/O to the given phase.
+// Under tracing it additionally opens a phase span whose I/O delta is set
+// from the very same counter difference added to the metric record, which
+// is what makes span I/O reconcile byte-exactly with the record.
 func (e *engine) timedPhase(restructure bool, fn func() error) error {
+	var sp *obsv.Span
+	if e.cfg.Trace != nil {
+		name := "compute"
+		if restructure {
+			name = "restructure"
+		}
+		sp = e.cfg.Trace.Child(name, obsv.KV("algorithm", string(e.met.Algorithm)))
+		e.phaseSpan = sp
+	}
 	snap := snapshot(e.pool)
 	start := time.Now()
 	err := fn()
 	elapsed := time.Since(start)
 	io, buf := snap.delta(e.pool)
+	if sp != nil {
+		sp.SetIO(obsv.IO{Reads: buf.Reads, Writes: buf.Writes,
+			Hits: buf.Hits, Misses: buf.Misses, Evicts: buf.Evicts})
+		sp.Finish()
+		e.phaseSpan = nil
+	}
 	if restructure {
 		e.met.Restructure.Reads += io.Reads
 		e.met.Restructure.Writes += io.Writes

@@ -14,6 +14,8 @@ package core
 // worker, which is what keeps per-worker accounting identical to a solo
 // run of the same sub-query.
 
+import "tcstudy/internal/obsv"
+
 // parallelEligible reports whether the query and configuration ask for
 // source partitioning: an explicit Parallelism of at least 2 and a PTC
 // query with at least two sources to split. CTC (empty source set) always
@@ -46,15 +48,25 @@ func runParallelSources(db *Database, alg Algorithm, q Query, cfg Config) (*Resu
 	parts := partitionSources(q.Sources, cfg.Parallelism)
 	subCfg := cfg
 	subCfg.Parallelism = 0 // workers are serial; no recursive fan-out
+	subCfg.Trace = nil     // each worker gets its own span below
 
 	results := make([]*Result, len(parts))
 	errs := make([]error, len(parts))
 	done := make(chan int, len(parts))
 	for w := range parts {
-		go func(w int) {
-			results[w], errs[w] = runOwned(db, alg, Query{Sources: parts[w]}, subCfg)
+		wcfg := subCfg
+		if cfg.Trace != nil {
+			// Worker spans are opened here, in partition order, so the
+			// trace lists workers deterministically; each worker's engine
+			// then hangs its own restructure/compute spans underneath.
+			wcfg.Trace = cfg.Trace.Child("worker",
+				obsv.KV("worker", w), obsv.KV("sources", len(parts[w])))
+		}
+		go func(w int, wcfg Config) {
+			results[w], errs[w] = runOwned(db, alg, Query{Sources: parts[w]}, wcfg)
+			wcfg.Trace.Finish()
 			done <- w
-		}(w)
+		}(w, wcfg)
 	}
 	for range parts {
 		<-done

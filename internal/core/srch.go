@@ -2,6 +2,8 @@ package core
 
 import (
 	"tcstudy/internal/bitset"
+	"tcstudy/internal/buffer"
+	"tcstudy/internal/obsv"
 	"tcstudy/internal/slist"
 )
 
@@ -28,6 +30,15 @@ func (e *engine) runSRCH() error {
 		var stack []int32
 		var childBuf []int32
 		for _, s := range srcs {
+			// Per-source expansion span: SRCH is the one algorithm whose
+			// work decomposes naturally per source, so a trace shows which
+			// source paid which pages.
+			var srcSpan *obsv.Span
+			var srcBase buffer.Stats
+			if e.phaseSpan != nil {
+				srcSpan = e.phaseSpan.Child("source", obsv.KV("node", s))
+				srcBase = e.pool.Stats()
+			}
 			member.Clear()
 			member.Add(s) // a node is not its own successor in a DAG
 			stack = append(stack[:0], s)
@@ -64,6 +75,13 @@ func (e *engine) runSRCH() error {
 				}
 			}
 			e.met.DistinctTuples += int64(e.store.Len(s))
+			if srcSpan != nil {
+				d := e.pool.Stats().Sub(srcBase)
+				srcSpan.SetIO(obsv.IO{Reads: d.Reads, Writes: d.Writes,
+					Hits: d.Hits, Misses: d.Misses, Evicts: d.Evicts})
+				srcSpan.Annotate(obsv.KV("successors", e.store.Len(s)))
+				srcSpan.Finish()
+			}
 		}
 		// Write the source lists out. Flushing must happen after the last
 		// append: growing a later source's list can split a page and

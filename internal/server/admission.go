@@ -48,6 +48,13 @@ type dispatcher struct {
 	closed bool
 }
 
+// QueueDepth is the number of jobs currently waiting in the admission
+// queue (not counting jobs already placed in a running batch).
+func (d *dispatcher) QueueDepth() int { return len(d.queue) }
+
+// QueueCap is the admission queue's capacity.
+func (d *dispatcher) QueueCap() int { return cap(d.queue) }
+
 // newDispatcher builds a dispatcher executing batches with
 // core.RunConcurrent over db.
 func newDispatcher(db *core.Database, workers, queueDepth int) *dispatcher {

@@ -99,7 +99,7 @@ func TestQueryStorageFaultIs503ThenRecovers(t *testing.T) {
 	}
 
 	var snap Snapshot
-	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &snap); code != http.StatusOK {
 		t.Fatalf("/metrics returned %d", code)
 	}
 	if snap.StorageFaults != 1 {
@@ -136,7 +136,7 @@ func TestValidationStays400UnderFaults(t *testing.T) {
 	}
 
 	var snap Snapshot
-	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &snap); code != http.StatusOK {
 		t.Fatalf("/metrics returned %d", code)
 	}
 	if snap.StorageFaults != 1 {

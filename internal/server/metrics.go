@@ -5,12 +5,19 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tcstudy/internal/core"
+	"tcstudy/internal/obsv"
 )
 
-// Metrics is the server's live counter set, exported as JSON by the
-// /metrics endpoint. Counters are lock-free atomics; latency quantiles come
+// Metrics is the server's live counter set, exported by the /metrics
+// endpoint in Prometheus text exposition format (JSON remains available via
+// ?format=json). Counters are lock-free atomics; latency quantiles come
 // from a mutex-guarded ring of recent request latencies, so a snapshot is
-// cheap enough to poll while serving traffic.
+// cheap enough to poll while serving traffic. Histograms — request
+// latency, per-algorithm engine phase times, and buffer-pool hit ratio —
+// are kept in Prometheus bucket form so a scraper can aggregate them
+// across servers.
 type Metrics struct {
 	start time.Time
 
@@ -20,14 +27,16 @@ type Metrics struct {
 	Plans   atomic.Int64 // GET /v1/plan requests
 
 	// Outcome counters.
-	CacheHits    atomic.Int64 // answered straight from the result cache
-	CacheMisses  atomic.Int64 // executed by the engine
-	IndexHits    atomic.Int64 // /v1/reach answered by the reachability index
-	Deduplicated atomic.Int64 // coalesced onto an identical in-flight query
-	Rejected      atomic.Int64 // 429: admission queue full
-	Timeouts      atomic.Int64 // 504: request deadline expired
-	StorageFaults atomic.Int64 // 503: transient storage fault under the engine
-	Errors        atomic.Int64 // 4xx validation + other 5xx engine failures
+	CacheHits       atomic.Int64 // answered straight from the result cache
+	CacheMisses     atomic.Int64 // executed by the engine
+	IndexHits       atomic.Int64 // /v1/reach answered by the reachability index
+	EngineFallbacks atomic.Int64 // /v1/reach forced through the engine (index absent or stale)
+	Deduplicated    atomic.Int64 // coalesced onto an identical in-flight query
+	Rejected        atomic.Int64 // 429: admission queue full
+	Timeouts        atomic.Int64 // 504: request deadline expired
+	StorageFaults   atomic.Int64 // 503: transient storage fault under the engine
+	Errors          atomic.Int64 // 4xx validation + other 5xx engine failures
+	SlowQueries     atomic.Int64 // requests over the slow-query threshold
 
 	// Work served by the engine (cache hits add nothing here — that page
 	// I/O was already paid for by the miss that filled the cache).
@@ -37,18 +46,61 @@ type Metrics struct {
 	// InFlight is the number of requests currently being processed.
 	InFlight atomic.Int64
 
-	lat latencyRing
+	lat     latencyRing
+	latHist *obsv.Histogram // request latency, seconds
+	ratio   *obsv.Histogram // buffer-pool hit ratio of executed queries
+
+	// Per-(algorithm, phase) engine time histograms, created lazily on the
+	// first execution of each algorithm.
+	phaseMu   sync.Mutex
+	phaseHist map[phaseKey]*obsv.Histogram
+}
+
+type phaseKey struct {
+	alg   string
+	phase string
 }
 
 // NewMetrics returns a zeroed metric set with the clock started.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now()}
+	return &Metrics{
+		start:     time.Now(),
+		latHist:   obsv.NewHistogram(obsv.DurationBuckets()...),
+		ratio:     obsv.NewHistogram(obsv.RatioBuckets()...),
+		phaseHist: make(map[phaseKey]*obsv.Histogram),
+	}
 }
 
 // ObserveLatency records one served request's latency.
-func (m *Metrics) ObserveLatency(d time.Duration) { m.lat.add(d) }
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	m.lat.add(d)
+	m.latHist.Observe(d.Seconds())
+}
 
-// Snapshot is the JSON shape of /metrics.
+// ObserveEngine records the engine-level observations of one executed
+// (non-cached) query: phase wall times per algorithm and the compute-phase
+// buffer hit ratio.
+func (m *Metrics) ObserveEngine(alg string, em core.Metrics) {
+	m.phase(alg, "restructure").Observe(em.RestructureTime.Seconds())
+	m.phase(alg, "compute").Observe(em.ComputeTime.Seconds())
+	if em.ComputeBuffer.Hits+em.ComputeBuffer.Misses > 0 {
+		m.ratio.Observe(em.ComputeBuffer.HitRatio())
+	}
+}
+
+func (m *Metrics) phase(alg, phase string) *obsv.Histogram {
+	k := phaseKey{alg, phase}
+	m.phaseMu.Lock()
+	h := m.phaseHist[k]
+	if h == nil {
+		h = obsv.NewHistogram(obsv.DurationBuckets()...)
+		m.phaseHist[k] = h
+	}
+	m.phaseMu.Unlock()
+	return h
+}
+
+// Snapshot is the JSON shape of /metrics?format=json.
 type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	QPS           float64 `json:"qps"` // completed requests / uptime
@@ -57,15 +109,17 @@ type Snapshot struct {
 	Reaches int64 `json:"reaches"`
 	Plans   int64 `json:"plans"`
 
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	IndexHits    int64   `json:"index_hits"`
-	Deduplicated int64   `json:"deduplicated"`
-	Rejected      int64   `json:"rejected"`
-	Timeouts      int64   `json:"timeouts"`
-	StorageFaults int64   `json:"storage_faults"`
-	Errors        int64   `json:"errors"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	IndexHits       int64   `json:"index_hits"`
+	EngineFallbacks int64   `json:"engine_fallbacks"`
+	Deduplicated    int64   `json:"deduplicated"`
+	Rejected        int64   `json:"rejected"`
+	Timeouts        int64   `json:"timeouts"`
+	StorageFaults   int64   `json:"storage_faults"`
+	Errors          int64   `json:"errors"`
+	SlowQueries     int64   `json:"slow_queries"`
 
 	PagesServed  int64 `json:"pages_served"`
 	TuplesServed int64 `json:"tuples_served"`
@@ -90,22 +144,24 @@ func (m *Metrics) Snapshot() Snapshot {
 	hits, misses := m.CacheHits.Load(), m.CacheMisses.Load()
 	completed := m.Queries.Load() + m.Reaches.Load() + m.Plans.Load()
 	s := Snapshot{
-		UptimeSeconds: up,
-		Queries:       m.Queries.Load(),
-		Reaches:       m.Reaches.Load(),
-		Plans:         m.Plans.Load(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		IndexHits:     m.IndexHits.Load(),
-		Deduplicated:  m.Deduplicated.Load(),
-		Rejected:      m.Rejected.Load(),
-		Timeouts:      m.Timeouts.Load(),
-		StorageFaults: m.StorageFaults.Load(),
-		Errors:        m.Errors.Load(),
-		PagesServed:   m.PagesServed.Load(),
-		TuplesServed:  m.TuplesServed.Load(),
-		InFlight:      m.InFlight.Load(),
-		LatencyMS:     m.lat.quantiles(),
+		UptimeSeconds:   up,
+		Queries:         m.Queries.Load(),
+		Reaches:         m.Reaches.Load(),
+		Plans:           m.Plans.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		IndexHits:       m.IndexHits.Load(),
+		EngineFallbacks: m.EngineFallbacks.Load(),
+		Deduplicated:    m.Deduplicated.Load(),
+		Rejected:        m.Rejected.Load(),
+		Timeouts:        m.Timeouts.Load(),
+		StorageFaults:   m.StorageFaults.Load(),
+		Errors:          m.Errors.Load(),
+		SlowQueries:     m.SlowQueries.Load(),
+		PagesServed:     m.PagesServed.Load(),
+		TuplesServed:    m.TuplesServed.Load(),
+		InFlight:        m.InFlight.Load(),
+		LatencyMS:       m.lat.quantiles(),
 	}
 	if up > 0 {
 		s.QPS = float64(completed) / up
@@ -114,6 +170,88 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.CacheHitRate = float64(hits) / float64(hits+misses)
 	}
 	return s
+}
+
+// Prometheus renders the metric set in text exposition format. The queue
+// gauges come from the caller because the admission queue belongs to the
+// dispatcher, not to Metrics.
+func (m *Metrics) Prometheus(queueDepth, queueCap int) string {
+	e := obsv.NewExposition()
+	e.Gauge("tc_uptime_seconds", "Seconds since the server started.",
+		time.Since(m.start).Seconds())
+
+	e.CounterFamily("tc_requests_total", "Requests accepted for processing, by endpoint.")
+	e.Sample("tc_requests_total", []obsv.Label{{Name: "endpoint", Value: "query"}},
+		float64(m.Queries.Load()))
+	e.Sample("tc_requests_total", []obsv.Label{{Name: "endpoint", Value: "reach"}},
+		float64(m.Reaches.Load()))
+	e.Sample("tc_requests_total", []obsv.Label{{Name: "endpoint", Value: "plan"}},
+		float64(m.Plans.Load()))
+
+	e.Counter("tc_cache_hits_total", "Queries answered from the result cache.",
+		float64(m.CacheHits.Load()))
+	e.Counter("tc_cache_misses_total", "Queries executed by the engine.",
+		float64(m.CacheMisses.Load()))
+	e.Counter("tc_index_hits_total", "Reach requests answered by the reachability index.",
+		float64(m.IndexHits.Load()))
+	e.Counter("tc_reach_engine_fallback_total",
+		"Reach requests forced through the engine because the index was absent or stale.",
+		float64(m.EngineFallbacks.Load()))
+	e.Counter("tc_deduplicated_total", "Queries coalesced onto an identical in-flight query.",
+		float64(m.Deduplicated.Load()))
+	e.Counter("tc_rejected_total", "Requests rejected with 429 by admission control.",
+		float64(m.Rejected.Load()))
+	e.Counter("tc_timeouts_total", "Requests that exceeded their deadline (504).",
+		float64(m.Timeouts.Load()))
+	e.Counter("tc_storage_faults_total", "Requests failed by a transient storage fault (503).",
+		float64(m.StorageFaults.Load()))
+	e.Counter("tc_errors_total", "Validation failures and non-transient engine errors.",
+		float64(m.Errors.Load()))
+	e.Counter("tc_slow_queries_total", "Requests over the slow-query threshold.",
+		float64(m.SlowQueries.Load()))
+	e.Counter("tc_pages_served_total", "Page I/O performed by executed queries.",
+		float64(m.PagesServed.Load()))
+	e.Counter("tc_tuples_served_total", "Distinct closure tuples materialized by executed queries.",
+		float64(m.TuplesServed.Load()))
+
+	e.Gauge("tc_in_flight", "Requests currently being processed.",
+		float64(m.InFlight.Load()))
+	e.GaugeFamily("tc_admission_queue_depth", "Jobs waiting in the admission queue.")
+	e.Sample("tc_admission_queue_depth", nil, float64(queueDepth))
+	e.GaugeFamily("tc_admission_queue_capacity", "Capacity of the admission queue.")
+	e.Sample("tc_admission_queue_capacity", nil, float64(queueCap))
+
+	e.HistogramFamily("tc_request_duration_seconds", "End-to-end request latency.")
+	e.Histogram("tc_request_duration_seconds", nil, m.latHist.Snapshot())
+
+	e.HistogramFamily("tc_buffer_hit_ratio",
+		"Compute-phase buffer-pool hit ratio of executed queries.")
+	e.Histogram("tc_buffer_hit_ratio", nil, m.ratio.Snapshot())
+
+	e.HistogramFamily("tc_engine_phase_seconds",
+		"Engine phase wall time by algorithm and phase.")
+	m.phaseMu.Lock()
+	keys := make([]phaseKey, 0, len(m.phaseHist))
+	for k := range m.phaseHist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].alg != keys[j].alg {
+			return keys[i].alg < keys[j].alg
+		}
+		return keys[i].phase < keys[j].phase
+	})
+	snaps := make([]obsv.HistogramSnapshot, len(keys))
+	for i, k := range keys {
+		snaps[i] = m.phaseHist[k].Snapshot()
+	}
+	m.phaseMu.Unlock()
+	for i, k := range keys {
+		e.Histogram("tc_engine_phase_seconds", []obsv.Label{
+			{Name: "algorithm", Value: k.alg}, {Name: "phase", Value: k.phase},
+		}, snaps[i])
+	}
+	return e.String()
 }
 
 // latencyWindow bounds the quantile computation; at 4096 samples the window

@@ -15,6 +15,12 @@
 //   - deadlines: every request carries a context deadline (default or
 //     per-request); expiry while queued or waiting returns 504 without
 //     charging the engine.
+//
+// The stack is observable end to end: requests can carry phase-span
+// traces (ring-buffered behind GET /debug/traces), GET /metrics serves
+// Prometheus text exposition format with per-algorithm phase-time
+// histograms, and requests over a slow-query threshold are logged with a
+// replayable tcquery command line. See docs/OBSERVABILITY.md.
 package server
 
 import (
@@ -22,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -33,6 +40,7 @@ import (
 	"tcstudy/internal/core"
 	"tcstudy/internal/graph"
 	"tcstudy/internal/index"
+	"tcstudy/internal/obsv"
 	"tcstudy/internal/pagedisk"
 	"tcstudy/internal/planner"
 	"tcstudy/internal/slist"
@@ -60,6 +68,22 @@ type Options struct {
 	// path remains the fallback when the index is absent or stale. It must
 	// cover the same node space as the database.
 	Index *index.Index
+	// TraceBuffer, when positive, records the span tree of the most recent
+	// TraceBuffer requests in a ring served by GET /debug/traces. Zero
+	// disables request tracing entirely (no tracer is allocated and query
+	// execution takes the untraced path).
+	TraceBuffer int
+	// SlowQuery, when positive, logs every request slower than this
+	// threshold — with its span tree summary and a replayable tcquery
+	// command line — through SlowLogf. Slow requests are traced even when
+	// TraceBuffer is zero.
+	SlowQuery time.Duration
+	// SlowLogf receives slow-query log lines (default log.Printf).
+	SlowLogf func(format string, args ...any)
+	// ReplayArgs is the tcquery flag fragment reconstructing the served
+	// graph (e.g. "-n 2000 -f 5 -l 200 -seed 1" or "-db closure.tcdb"),
+	// prepended to the replay command of slow-query log entries.
+	ReplayArgs string
 }
 
 func (o Options) withDefaults() Options {
@@ -84,19 +108,23 @@ func (o Options) withDefaults() Options {
 	if o.DefaultConfig.ListPolicy == "" {
 		o.DefaultConfig.ListPolicy = "smallest"
 	}
+	if o.SlowLogf == nil {
+		o.SlowLogf = log.Printf
+	}
 	return o
 }
 
 // Server serves reachability queries over one loaded database.
 type Server struct {
-	db    *core.Database
-	opts  Options
-	disp  *dispatcher
-	cache *resultCache
-	idx   *index.Index
-	met   *Metrics
-	mux   *http.ServeMux
-	algs  map[core.Algorithm]bool
+	db     *core.Database
+	opts   Options
+	disp   *dispatcher
+	cache  *resultCache
+	idx    *index.Index
+	met    *Metrics
+	traces *traceRing
+	mux    *http.ServeMux
+	algs   map[core.Algorithm]bool
 
 	planOnce sync.Once
 	profile  planner.Profile
@@ -107,14 +135,15 @@ type Server struct {
 func New(db *core.Database, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		db:    db,
-		opts:  opts,
-		disp:  newDispatcher(db, opts.Workers, opts.QueueDepth),
-		cache: newResultCache(opts.CacheEntries),
-		idx:   opts.Index,
-		met:   NewMetrics(),
-		mux:   http.NewServeMux(),
-		algs:  make(map[core.Algorithm]bool),
+		db:     db,
+		opts:   opts,
+		disp:   newDispatcher(db, opts.Workers, opts.QueueDepth),
+		cache:  newResultCache(opts.CacheEntries),
+		idx:    opts.Index,
+		met:    NewMetrics(),
+		traces: newTraceRing(opts.TraceBuffer),
+		mux:    http.NewServeMux(),
+		algs:   make(map[core.Algorithm]bool),
 	}
 	for _, a := range core.Algorithms() {
 		s.algs[a] = true
@@ -124,6 +153,7 @@ func New(db *core.Database, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s
 }
 
@@ -392,6 +422,31 @@ func cacheKey(req core.Request) string {
 	return b.String()
 }
 
+// tracing reports whether requests should carry a tracer: either the
+// /debug/traces ring is recording or a slow-query threshold is set. When
+// false, requests take the untraced path — no tracer is allocated and the
+// engine's span hooks stay nil.
+func (s *Server) tracing() bool { return s.traces.enabled() || s.opts.SlowQuery > 0 }
+
+// finishTrace closes a request's root span, records the entry in the trace
+// ring, and emits the slow-query log line when over threshold. A nil
+// tracer (tracing disabled) is a no-op.
+func (s *Server) finishTrace(tr *obsv.Tracer, root *obsv.Span, e TraceEntry, elapsed time.Duration) {
+	if tr == nil {
+		return
+	}
+	root.Finish()
+	e.Time = time.Now()
+	e.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	e.Spans = tr.Records()
+	if s.opts.SlowQuery > 0 && elapsed >= s.opts.SlowQuery {
+		e.Slow = true
+		s.met.SlowQueries.Add(1)
+		s.opts.SlowLogf("%s", slowLogLine(e, s.opts.SlowQuery))
+	}
+	s.traces.add(e)
+}
+
 // execute runs one validated request through cache, single-flight and
 // admission, attributing served work to the metrics.
 func (s *Server) execute(ctx context.Context, req core.Request) (res *core.Result, hit, shared bool, err error) {
@@ -402,6 +457,7 @@ func (s *Server) execute(ctx context.Context, req core.Request) (res *core.Resul
 		}
 		s.met.PagesServed.Add(r.Metrics.TotalIO())
 		s.met.TuplesServed.Add(r.Metrics.DistinctTuples)
+		s.met.ObserveEngine(string(req.Alg), r.Metrics)
 		return r, nil
 	})
 	if err == nil {
@@ -440,16 +496,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	var tr *obsv.Tracer
+	var root *obsv.Span
+	var entry TraceEntry
+	if s.tracing() {
+		tr = obsv.NewTracer()
+		root = tr.Start("query", obsv.KV("algorithm", string(req.Alg)),
+			obsv.KV("sources", len(req.Query.Sources)))
+		req.Cfg.Trace = root
+		entry = TraceEntry{
+			Endpoint:  "query",
+			Algorithm: string(req.Alg),
+			Sources:   req.Query.Sources,
+			Replay:    replayCommand(s.opts.ReplayArgs, req),
+		}
+	}
 	ctx, cancel := s.requestContext(r, qr.TimeoutMS)
 	defer cancel()
 	res, hit, shared, err := s.execute(ctx, req)
 	if err != nil {
+		entry.Error = err.Error()
+		s.finishTrace(tr, root, entry, time.Since(start))
 		s.fail(w, err)
 		return
 	}
 	s.met.Queries.Add(1)
 	elapsed := time.Since(start)
 	s.met.ObserveLatency(elapsed)
+	entry.Cached, entry.Deduplicated = hit, shared
+	root.Annotate(obsv.KV("cached", hit), obsv.KV("deduplicated", shared))
+	s.finishTrace(tr, root, entry, elapsed)
 	resp := queryResponse{
 		Algorithm:       string(req.Alg),
 		Sources:         req.Query.Sources,
@@ -495,6 +571,12 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badRequest("reach needs integer src and dst parameters"))
 		return
 	}
+	var tr *obsv.Tracer
+	var root *obsv.Span
+	if s.tracing() {
+		tr = obsv.NewTracer()
+		root = tr.Start("reach", obsv.KV("src", src), obsv.KV("dst", dst))
+	}
 	if s.idx != nil && !s.idx.Stale() {
 		if src < 1 || src > int32(s.db.N()) {
 			s.fail(w, badRequest("source node %d outside 1..%d", src, s.db.N()))
@@ -504,17 +586,24 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, badRequest("destination node %d outside 1..%d", dst, s.db.N()))
 			return
 		}
+		probe := root.Child("index-probe")
 		reachable := s.idx.Reach(src, dst)
+		probe.Annotate(obsv.KV("reachable", reachable))
+		probe.Finish()
 		s.met.IndexHits.Add(1)
 		s.met.Reaches.Add(1)
 		elapsed := time.Since(start)
 		s.met.ObserveLatency(elapsed)
+		s.finishTrace(tr, root, TraceEntry{
+			Endpoint: "reach", Sources: []int32{src}, IndexHit: true,
+		}, elapsed)
 		writeJSON(w, http.StatusOK, reachResponse{
 			Src: src, Dst: dst, Reachable: reachable, IndexHit: true,
 			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 		})
 		return
 	}
+	s.met.EngineFallbacks.Add(1)
 	req, err := s.buildRequest(string(core.SRCH), []int32{src}, queryRequest{})
 	if err != nil {
 		s.fail(w, err)
@@ -524,10 +613,22 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badRequest("destination node %d outside 1..%d", dst, s.db.N()))
 		return
 	}
+	var entry TraceEntry
+	if tr != nil {
+		req.Cfg.Trace = root
+		entry = TraceEntry{
+			Endpoint:  "reach",
+			Algorithm: string(core.SRCH),
+			Sources:   []int32{src},
+			Replay:    replayCommand(s.opts.ReplayArgs, req),
+		}
+	}
 	ctx, cancel := s.requestContext(r, atoiDefault(r.URL.Query().Get("timeout_ms"), 0))
 	defer cancel()
-	res, hit, _, err := s.execute(ctx, req)
+	res, hit, shared, err := s.execute(ctx, req)
 	if err != nil {
+		entry.Error = err.Error()
+		s.finishTrace(tr, root, entry, time.Since(start))
 		s.fail(w, err)
 		return
 	}
@@ -545,6 +646,9 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	if !hit {
 		io = res.Metrics.TotalIO()
 	}
+	entry.Cached, entry.Deduplicated = hit, shared
+	root.Annotate(obsv.KV("reachable", reachable), obsv.KV("cached", hit))
+	s.finishTrace(tr, root, entry, elapsed)
 	writeJSON(w, http.StatusOK, reachResponse{
 		Src: src, Dst: dst, Reachable: reachable, Cached: hit,
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond), PageIO: io,
@@ -621,8 +725,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the live counters. The default is Prometheus text
+// exposition format (what a scraper expects at /metrics); the original
+// JSON snapshot remains available as /metrics?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.Snapshot())
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.met.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.met.Prometheus(s.disp.QueueDepth(), s.disp.QueueCap())))
+}
+
+// handleTraces serves the recent-request trace ring, newest first. With
+// tracing disabled (TraceBuffer 0) it reports the feature as off rather
+// than an empty list, so a probe can tell "no traffic" from "not
+// recording".
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": s.traces.enabled(),
+		"traces":  s.traces.snapshot(),
+	})
 }
 
 func parseNode(v string) (int32, error) {

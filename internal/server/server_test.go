@@ -245,7 +245,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 
 	postQuery(t, ts.URL, map[string]any{"algorithm": "srch", "sources": []int32{1}})
 	var snap Snapshot
-	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &snap); code != http.StatusOK {
 		t.Fatalf("metrics status %d", code)
 	}
 	if snap.Queries != 1 || snap.CacheMisses != 1 || snap.PagesServed == 0 {
