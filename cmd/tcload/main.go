@@ -22,6 +22,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,14 +31,18 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tcstudy/internal/httpretry"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", "http://localhost:8080", "tcserve base URL")
+		targets    = flag.String("targets", "", "comma-separated base URLs driven round-robin (tcserve replicas or tcrouter instances); overrides -addr")
 		duration   = flag.Duration("duration", 10*time.Second, "run length")
 		qps        = flag.Float64("qps", 100, "target request rate")
 		inflight   = flag.Int("inflight", 64, "max concurrent requests (arrivals beyond it are dropped)")
@@ -53,15 +58,17 @@ func main() {
 		backoff    = flag.Duration("backoff", 25*time.Millisecond, "initial retry backoff (doubles per attempt)")
 	)
 	flag.Parse()
-	retryPolicy = retrier{max: *retries, backoff: *backoff}
+	retryPolicy = httpretry.Policy{Max: *retries, Backoff: *backoff}
 
+	endpoints := parseTargets(*targets, *addr)
 	client := &http.Client{Timeout: 60 * time.Second}
-	nodes, err := fetchNodes(client, *addr)
+	nodes, err := checkTargets(client, endpoints)
 	if err != nil {
-		fatal(fmt.Errorf("cannot reach server at %s: %w", *addr, err))
+		fatal(err)
 	}
-	fmt.Printf("tcload: server has %d nodes; driving %.0f qps for %s (reach mix %.0f%%)\n",
-		nodes, *qps, *duration, 100**reachFrac)
+	fmt.Printf("tcload: %d target(s), %d nodes; driving %.0f qps for %s (reach mix %.0f%%)\n",
+		len(endpoints), nodes, *qps, *duration, 100**reachFrac)
+	next := newPicker(endpoints)
 
 	shapes := buildShapes(*algs, nodes, *maxSources, *sourcePool, *m, *seed)
 	rng := rand.New(rand.NewSource(*seed))
@@ -88,13 +95,14 @@ func main() {
 			break
 		}
 		var op func()
+		base := next()
 		if rng.Float64() < *reachFrac {
 			src, dst := pickReach()
-			url := fmt.Sprintf("%s/v1/reach?src=%d&dst=%d", *addr, src, dst)
+			url := fmt.Sprintf("%s/v1/reach?src=%d&dst=%d", base, src, dst)
 			op = func() { stats.observe(doGet(client, url)) }
 		} else {
 			body := shapes[rng.Intn(len(shapes))]
-			url := *addr + "/v1/query"
+			url := base + "/v1/query"
 			op = func() { stats.observe(doPost(client, url, body)) }
 		}
 		select {
@@ -112,9 +120,61 @@ func main() {
 	wg.Wait()
 
 	stats.report(*duration, dropped.Load())
-	printServerMetrics(client, *addr)
+	for _, base := range endpoints {
+		printServerMetrics(client, base)
+	}
 	if stats.errors.Load() > 0 {
 		os.Exit(1)
+	}
+}
+
+// parseTargets resolves the endpoint list: -targets (comma-separated) when
+// given, otherwise the single -addr.
+func parseTargets(targets, addr string) []string {
+	if targets == "" {
+		return []string{addr}
+	}
+	var out []string
+	for _, t := range strings.Split(targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, strings.TrimRight(t, "/"))
+		}
+	}
+	if len(out) == 0 {
+		fatal(fmt.Errorf("-targets %q contains no endpoints", targets))
+	}
+	return out
+}
+
+// checkTargets verifies every endpoint is reachable and that all of them
+// serve a graph of the same size — driving a mixed fleet would make the
+// generated sources invalid on the smaller servers.
+func checkTargets(c *http.Client, endpoints []string) (int, error) {
+	nodes := 0
+	for i, base := range endpoints {
+		n, err := fetchNodes(c, base)
+		if err != nil {
+			return 0, fmt.Errorf("cannot reach server at %s: %w", base, err)
+		}
+		if i == 0 {
+			nodes = n
+		} else if n != nodes {
+			return 0, fmt.Errorf("target %s has %d nodes but %s has %d: refusing mixed fleet",
+				base, n, endpoints[0], nodes)
+		}
+	}
+	return nodes, nil
+}
+
+// newPicker returns a round-robin endpoint selector (trivial for one).
+func newPicker(endpoints []string) func() string {
+	if len(endpoints) == 1 {
+		base := endpoints[0]
+		return func() string { return base }
+	}
+	var i atomic.Int64
+	return func() string {
+		return endpoints[int(i.Add(1)-1)%len(endpoints)]
 	}
 }
 
@@ -204,50 +264,33 @@ type outcome struct {
 	err     error
 }
 
-// retrier retries transient failures — 503 (a storage fault under the
-// engine, per the server's error contract) and transport errors — with
-// exponential backoff. 429 and 504 are not retried: they are the server's
-// overload and deadline signals, and hammering them defeats admission
-// control.
-type retrier struct {
-	max     int
-	backoff time.Duration
-}
+// retryPolicy retries transient failures (503 + transport errors, per the
+// server's error contract) with exponential backoff; it is set from flags
+// before any traffic is generated. See internal/httpretry.
+var retryPolicy httpretry.Policy
 
-// retryPolicy is set from flags before any traffic is generated.
-var retryPolicy retrier
-
-func (r retrier) do(attempt func() outcome) outcome {
-	o := attempt()
-	delay := r.backoff
-	for try := 0; try < r.max && retryable(o); try++ {
-		time.Sleep(delay)
-		delay *= 2
-		n := o.retries + 1
-		o = attempt()
-		o.retries = n
-	}
+func doGet(c *http.Client, url string) outcome {
+	var o outcome
+	_, retries, _ := retryPolicy.Do(context.Background(), func(int) (int, error) {
+		start := time.Now()
+		resp, err := c.Get(url)
+		o = finish(start, resp, err)
+		return o.status, o.err
+	})
+	o.retries = retries
 	return o
 }
 
-func retryable(o outcome) bool {
-	return o.err != nil || o.status == http.StatusServiceUnavailable
-}
-
-func doGet(c *http.Client, url string) outcome {
-	return retryPolicy.do(func() outcome {
-		start := time.Now()
-		resp, err := c.Get(url)
-		return finish(start, resp, err)
-	})
-}
-
 func doPost(c *http.Client, url string, body []byte) outcome {
-	return retryPolicy.do(func() outcome {
+	var o outcome
+	_, retries, _ := retryPolicy.Do(context.Background(), func(int) (int, error) {
 		start := time.Now()
 		resp, err := c.Post(url, "application/json", bytes.NewReader(body))
-		return finish(start, resp, err)
+		o = finish(start, resp, err)
+		return o.status, o.err
 	})
+	o.retries = retries
+	return o
 }
 
 func finish(start time.Time, resp *http.Response, err error) outcome {

@@ -1,0 +1,117 @@
+// Command tcrouter fronts a fleet of stateless tcserve replicas with the
+// scatter-gather routing tier: consistent hashing of source vertices
+// assigns each source an owning replica, multi-source queries scatter to
+// the owners and gather into one merged response, and replica health,
+// transient-failure retries, and latency hedging keep the tier serving
+// through individual replica trouble. Endpoints mirror tcserve:
+//
+//	POST /v1/query            scatter by source, gather + merge metric records
+//	GET  /v1/reach?src=&dst=  routed to the source's owning replica
+//	GET  /v1/plan             proxied to one healthy replica
+//	GET  /healthz             router + per-replica enrollment state
+//	GET  /metrics             Prometheus text format (shard/hedge/retry counters)
+//
+// Every replica must serve the same dataset: enrollment compares the
+// /healthz fingerprint and refuses replicas serving a different graph.
+//
+// Example (three replicas of the same generated graph):
+//
+//	tcserve -addr :8081 -n 2000 -seed 1 &
+//	tcserve -addr :8082 -n 2000 -seed 1 &
+//	tcserve -addr :8083 -n 2000 -seed 1 &
+//	tcrouter -addr :8080 -replicas http://localhost:8081,http://localhost:8082,http://localhost:8083 -hedge 100ms
+//
+// See docs/ROUTER.md for the hashing, health, and hedging design.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tcstudy/internal/router"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		replicas = flag.String("replicas", "", "comma-separated tcserve base URLs (required)")
+		health   = flag.Duration("health", 2*time.Second, "replica health-check interval")
+		failN    = flag.Int("failafter", 3, "consecutive health failures that mark a replica out")
+		okN      = flag.Int("recoverafter", 2, "consecutive health successes that re-enroll a replica")
+		retries  = flag.Int("retries", 2, "retry attempts for transient shard failures (503 + transport)")
+		backoff  = flag.Duration("backoff", 25*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		hedge    = flag.Duration("hedge", 0, "hedge a shard request to another replica after this latency (0 disables)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-shard sub-request deadline including retries")
+		vnodes   = flag.Int("vnodes", 64, "consistent-hash points per replica")
+		expect   = flag.String("fingerprint", "", "require this dataset fingerprint (default: first healthy replica pins it)")
+	)
+	flag.Parse()
+	if *replicas == "" {
+		fatal(fmt.Errorf("-replicas is required (comma-separated tcserve base URLs)"))
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+
+	rt, err := router.New(router.Options{
+		Replicas:          urls,
+		HealthInterval:    *health,
+		FailThreshold:     *failN,
+		RecoverThreshold:  *okN,
+		Retries:           *retries,
+		Backoff:           *backoff,
+		HedgeAfter:        *hedge,
+		ShardTimeout:      *timeout,
+		Vnodes:            *vnodes,
+		ExpectFingerprint: *expect,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// One synchronous sweep before listening, so a fleet that is already
+	// up serves from the first request instead of the first tick.
+	rt.CheckNow(context.Background())
+	rt.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("tcrouter listening on %s fronting %d replica(s) (health=%s retries=%d hedge=%s)",
+		*addr, len(urls), *health, *retries, *hedge)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	rt.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("tcrouter stopped cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcrouter:", err)
+	os.Exit(1)
+}

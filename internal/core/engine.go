@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tcstudy/internal/buffer"
@@ -117,6 +118,12 @@ type Database struct {
 	btree    *relation.BTree
 	invBtree *relation.BTree
 	n        int
+
+	// Dataset fingerprint, computed lazily on first use (the stored
+	// relation is immutable once built). See Fingerprint.
+	fpOnce sync.Once
+	fp     uint64
+	fpErr  error
 }
 
 // NewDatabase stores the arcs of a graph over nodes 1..n.

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+)
+
+// fpTable is the CRC-64 polynomial used for dataset fingerprints. ECMA
+// matches the widespread crc64 tooling; the choice only has to be stable
+// across processes, not cryptographic.
+var fpTable = crc64.MakeTable(crc64.ECMA)
+
+// Fingerprint returns a stable CRC-64 digest of the stored graph: the
+// node count followed by every arc of the base relation in clustered
+// order. Two databases built from the same input (the same snapshot
+// files, or the same generator parameters) fingerprint identically, which
+// is what lets a routing tier refuse to mix replicas serving different
+// graphs. Arc weights do not participate — reachability answers depend
+// only on the arc structure. The value is computed once — the base
+// relation is immutable after construction — and the scan is not charged
+// to queries (Arcs resets the I/O counters, like all
+// database-construction work).
+func (db *Database) Fingerprint() (uint64, error) {
+	db.fpOnce.Do(func() {
+		arcs, err := db.Arcs()
+		if err != nil {
+			db.fpErr = err
+			return
+		}
+		buf := make([]byte, 8, 8+8*len(arcs))
+		binary.LittleEndian.PutUint64(buf, uint64(db.n))
+		for _, a := range arcs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(a.From))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(a.To))
+		}
+		db.fp = crc64.Checksum(buf, fpTable)
+	})
+	return db.fp, db.fpErr
+}

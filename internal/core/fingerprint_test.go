@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"tcstudy/internal/graphgen"
+)
+
+func fingerprintOf(t *testing.T, nodes int, seed int64) uint64 {
+	t.Helper()
+	arcs, err := graphgen.Generate(graphgen.Params{Nodes: nodes, OutDegree: 4, Locality: 40, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := NewDatabase(nodes, arcs).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestFingerprintIdentifiesDataset(t *testing.T) {
+	a := fingerprintOf(t, 300, 7)
+	b := fingerprintOf(t, 300, 7)
+	if a != b {
+		t.Fatalf("same generator parameters fingerprint differently: %016x vs %016x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("fingerprint is zero")
+	}
+	if c := fingerprintOf(t, 300, 8); c == a {
+		t.Fatalf("different graphs share fingerprint %016x", a)
+	}
+	if d := fingerprintOf(t, 301, 7); d == a {
+		t.Fatalf("different node counts share fingerprint %016x", a)
+	}
+}
+
+func TestFingerprintStableAcrossCalls(t *testing.T) {
+	arcs, err := graphgen.Generate(graphgen.Params{Nodes: 200, OutDegree: 4, Locality: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(200, arcs)
+	first, err := db.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run a query between calls: serving work must not disturb the digest.
+	if _, err := Run(db, SRCH, Query{Sources: []int32{1}}, Config{BufferPages: 8}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := db.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("fingerprint drifted: %016x then %016x", first, again)
+	}
+}

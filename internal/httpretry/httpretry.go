@@ -1,0 +1,71 @@
+// Package httpretry is the shared retry policy for HTTP clients of the
+// serving stack (tcload, the tcrouter scatter-gather tier). It retries
+// exactly the outcomes the server's error contract declares transient —
+// HTTP 503 (a storage fault under the engine, gone on the next attempt)
+// and transport errors — with exponential backoff. 429 and 504 are never
+// retried: they are the server's overload and deadline signals, and
+// hammering them defeats admission control.
+package httpretry
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Policy is one retry budget: up to Max retries after the first attempt,
+// sleeping Backoff before the first retry and doubling per attempt. The
+// zero value never retries.
+type Policy struct {
+	Max     int
+	Backoff time.Duration
+}
+
+// Retryable reports whether an attempt's outcome is transient under the
+// server's error contract: any transport error, or HTTP 503.
+func Retryable(status int, err error) bool {
+	return err != nil || status == http.StatusServiceUnavailable
+}
+
+// Do runs attempt at least once and retries transient outcomes until the
+// budget is exhausted or ctx is done. attempt receives the zero-based
+// attempt number and returns the HTTP status (0 on a transport error) and
+// error of that attempt. Do returns the last attempt's outcome plus the
+// number of retries consumed. Backoff sleeps respect ctx: cancellation
+// during a sleep returns the previous outcome immediately, never a fresh
+// attempt against a dead context.
+func (p Policy) Do(ctx context.Context, attempt func(try int) (status int, err error)) (status, retries int, err error) {
+	status, err = attempt(0)
+	delay := p.Backoff
+	for try := 1; try <= p.Max && Retryable(status, err); try++ {
+		if !sleep(ctx, delay) {
+			return status, retries, err
+		}
+		delay *= 2
+		status, err = attempt(try)
+		retries++
+	}
+	return status, retries, err
+}
+
+// sleep waits for d or until ctx is done, reporting whether the full wait
+// elapsed. A non-positive d returns true immediately (still honouring a
+// context that is already done).
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,125 @@
+package httpretry
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		status int
+		err    error
+		want   bool
+	}{
+		{http.StatusOK, nil, false},
+		{http.StatusBadRequest, nil, false},
+		{http.StatusTooManyRequests, nil, false}, // overload: backoff would defeat admission control
+		{http.StatusGatewayTimeout, nil, false},  // deadline: the work is too slow, not faulty
+		{http.StatusServiceUnavailable, nil, true},
+		{0, errors.New("connection refused"), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.status, c.err); got != c.want {
+			t.Errorf("Retryable(%d, %v) = %v, want %v", c.status, c.err, got, c.want)
+		}
+	}
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	p := Policy{Max: 3, Backoff: time.Microsecond}
+	var calls int
+	status, retries, err := p.Do(context.Background(), func(try int) (int, error) {
+		if try != calls {
+			t.Errorf("attempt %d reported try %d", calls, try)
+		}
+		calls++
+		if calls < 3 {
+			return http.StatusServiceUnavailable, nil
+		}
+		return http.StatusOK, nil
+	})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("Do = (%d, %v), want (200, nil)", status, err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3 attempts / 2 retries", calls, retries)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	p := Policy{Max: 2, Backoff: time.Microsecond}
+	var calls int
+	status, retries, err := p.Do(context.Background(), func(int) (int, error) {
+		calls++
+		return http.StatusServiceUnavailable, nil
+	})
+	if status != http.StatusServiceUnavailable || err != nil {
+		t.Fatalf("Do = (%d, %v), want 503 after exhaustion", status, err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3/2", calls, retries)
+	}
+}
+
+func TestDoDoesNotRetryNonTransient(t *testing.T) {
+	for _, status := range []int{http.StatusOK, http.StatusTooManyRequests, http.StatusGatewayTimeout, http.StatusBadRequest} {
+		p := Policy{Max: 5, Backoff: time.Microsecond}
+		var calls int
+		got, retries, _ := p.Do(context.Background(), func(int) (int, error) {
+			calls++
+			return status, nil
+		})
+		if got != status || calls != 1 || retries != 0 {
+			t.Errorf("status %d: got (%d, calls=%d, retries=%d), want single attempt", status, got, calls, retries)
+		}
+	}
+}
+
+func TestDoZeroPolicyNeverRetries(t *testing.T) {
+	var calls int
+	var p Policy
+	_, retries, err := p.Do(context.Background(), func(int) (int, error) {
+		calls++
+		return 0, errors.New("boom")
+	})
+	if calls != 1 || retries != 0 || err == nil {
+		t.Fatalf("zero policy: calls=%d retries=%d err=%v", calls, retries, err)
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Max: 10, Backoff: time.Hour} // would block forever without ctx
+	var calls int
+	start := time.Now()
+	status, retries, err := p.Do(ctx, func(int) (int, error) {
+		calls++
+		cancel() // cancel while "in flight"; the backoff sleep must abort
+		return http.StatusServiceUnavailable, nil
+	})
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("Do slept through context cancellation")
+	}
+	if calls != 1 || retries != 0 {
+		t.Fatalf("calls=%d retries=%d, want the single pre-cancel attempt", calls, retries)
+	}
+	if status != http.StatusServiceUnavailable || err != nil {
+		t.Fatalf("Do = (%d, %v), want the last real outcome", status, err)
+	}
+}
+
+func TestDoBackoffDoubles(t *testing.T) {
+	// Observe the sleeps indirectly: with a 5ms initial backoff and two
+	// retries the total sleep is >= 5+10 ms.
+	p := Policy{Max: 2, Backoff: 5 * time.Millisecond}
+	start := time.Now()
+	p.Do(context.Background(), func(int) (int, error) {
+		return http.StatusServiceUnavailable, nil
+	})
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 15ms of doubled backoff", elapsed)
+	}
+}

@@ -70,6 +70,7 @@ type Index struct {
 	labels   []label     // per DAG node, len K+1
 	selfLoop *bitset.Set // original nodes with a self-arc
 	stale    bool
+	gen      int // in-place inserts folded since build/load (not persisted)
 }
 
 // Build constructs the index for g. Cyclic graphs are handled through SCC
@@ -229,6 +230,17 @@ func (x *Index) Stale() bool {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	return x.stale
+}
+
+// Generation reports how many arcs InsertArc has folded in place since
+// the index was built or loaded. A freshly built or loaded index is
+// generation 0; the counter is not persisted by Save. Replicas serving
+// the same index file at the same generation give identical answers,
+// which is what a routing tier's health checks compare.
+func (x *Index) Generation() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.gen
 }
 
 // Reach reports whether src reaches dst, with closure semantics: a node

@@ -31,6 +31,7 @@ func (x *Index) InsertArc(u, v int32) error {
 	if u == v {
 		x.selfLoop.Add(u)
 		x.numArcs++
+		x.gen++
 		return nil
 	}
 	cu, cv := x.comp[u], x.comp[v]
@@ -38,6 +39,7 @@ func (x *Index) InsertArc(u, v int32) error {
 		// Both endpoints already share a (non-trivial) component; the arc
 		// adds no reachability.
 		x.numArcs++
+		x.gen++
 		return nil
 	}
 	if x.dagReach(cv, cu) {
@@ -46,6 +48,7 @@ func (x *Index) InsertArc(u, v int32) error {
 		return ErrStale
 	}
 	x.numArcs++
+	x.gen++
 	if x.dagReach(cu, cv) {
 		return nil // already reachable; labels are transitively closed
 	}

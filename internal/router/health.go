@@ -1,0 +1,249 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// replicaState is one replica's enrollment state.
+type replicaState int
+
+const (
+	// stateUnknown: never successfully health-checked; not routed to.
+	stateUnknown replicaState = iota
+	// stateHealthy: enrolled, fingerprint-matched, receiving traffic.
+	stateHealthy
+	// stateDown: marked out after FailThreshold consecutive failures (or
+	// never up); re-enrolls after RecoverThreshold consecutive successes.
+	stateDown
+	// stateMismatched: answering /healthz but serving a different dataset
+	// than the fleet; never routed to until its fingerprint matches.
+	stateMismatched
+)
+
+func (s replicaState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateDown:
+		return "down"
+	case stateMismatched:
+		return "mismatched"
+	default:
+		return "unknown"
+	}
+}
+
+// replica is the router's view of one tcserve instance. All mutable
+// fields are guarded by the router's mu.
+type replica struct {
+	url string
+
+	state       replicaState
+	consecFails int
+	consecOK    int
+	lastErr     string
+
+	// Last successful /healthz observation.
+	fingerprint string
+	nodes       int
+	arcs        int
+	indexGen    int
+	hasIndex    bool
+}
+
+// replicaHealthz is the subset of tcserve's /healthz body the router
+// consumes.
+type replicaHealthz struct {
+	Status      string `json:"status"`
+	Nodes       int    `json:"nodes"`
+	Arcs        int    `json:"arcs"`
+	Fingerprint string `json:"fingerprint"`
+	Index       *struct {
+		Generation int  `json:"generation"`
+		Stale      bool `json:"stale"`
+	} `json:"index"`
+}
+
+// CheckNow sweeps every replica's /healthz once, synchronously, and
+// applies the state transitions: FailThreshold consecutive failures mark
+// a replica out, RecoverThreshold consecutive successes re-enroll it, and
+// a fingerprint that differs from the fleet's refuses enrollment
+// outright. The fleet fingerprint is pinned by the first replica to
+// answer healthy (or by Options.ExpectFingerprint). The ring is rebuilt
+// if membership changed.
+func (rt *Router) CheckNow(ctx context.Context) {
+	rt.met.HealthChecks.Add(1)
+	rt.mu.RLock()
+	reps := append([]*replica(nil), rt.replicas...)
+	rt.mu.RUnlock()
+
+	type probe struct {
+		h   replicaHealthz
+		err error
+	}
+	results := make([]probe, len(reps))
+	var wg sync.WaitGroup
+	for i, rep := range reps {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			results[i].h, results[i].err = rt.fetchHealthz(ctx, url)
+		}(i, rep.url)
+	}
+	wg.Wait()
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	changed := false
+	for i, rep := range reps {
+		if rt.applyProbe(rep, results[i].h, results[i].err) {
+			changed = true
+		}
+	}
+	if changed || rt.ring == nil {
+		rt.rebuildRingLocked()
+	}
+}
+
+// applyProbe folds one health observation into a replica's state,
+// reporting whether its enrollment changed. Caller holds rt.mu.
+func (rt *Router) applyProbe(rep *replica, h replicaHealthz, err error) bool {
+	wasHealthy := rep.state == stateHealthy
+	if err != nil {
+		rep.consecOK = 0
+		rep.consecFails++
+		rep.lastErr = err.Error()
+		if wasHealthy && rep.consecFails >= rt.opts.FailThreshold {
+			rep.state = stateDown
+			rt.met.Excluded.Add(1)
+			return true
+		}
+		if rep.state == stateUnknown && rep.consecFails >= rt.opts.FailThreshold {
+			rep.state = stateDown
+		}
+		return false
+	}
+
+	rep.consecFails = 0
+	rep.lastErr = ""
+	rep.fingerprint = h.Fingerprint
+	rep.nodes = h.Nodes
+	rep.arcs = h.Arcs
+	rep.hasIndex = h.Index != nil
+	if h.Index != nil {
+		rep.indexGen = h.Index.Generation
+	}
+
+	// Enrollment gate: the first healthy replica pins the fleet's dataset
+	// identity; everyone after must match it exactly.
+	if rt.expect == "" {
+		rt.expect = h.Fingerprint
+		rt.nodes = h.Nodes
+	}
+	if h.Fingerprint != rt.expect {
+		rep.consecOK = 0
+		if rep.state != stateMismatched {
+			rep.state = stateMismatched
+			rep.lastErr = fmt.Sprintf("dataset fingerprint %s does not match fleet %s", h.Fingerprint, rt.expect)
+			rt.met.Mismatched.Add(1)
+			return wasHealthy
+		}
+		return false
+	}
+	if rep.state == stateMismatched {
+		// The replica was redeployed onto the right dataset: treat the
+		// match as a fresh recovery streak.
+		rep.state = stateDown
+	}
+
+	rep.consecOK++
+	if rep.state == stateHealthy {
+		return false
+	}
+	// A replica that was never enrolled joins on its first clean answer;
+	// one that was marked out must prove RecoverThreshold consecutive
+	// successes before taking traffic again.
+	need := rt.opts.RecoverThreshold
+	if rep.state == stateUnknown {
+		need = 1
+	}
+	if rep.consecOK >= need {
+		rep.state = stateHealthy
+		return true
+	}
+	return false
+}
+
+// rebuildRingLocked rebuilds the consistent-hash ring over the healthy
+// replicas. Caller holds rt.mu.
+func (rt *Router) rebuildRingLocked() {
+	var healthy []*replica
+	for _, rep := range rt.replicas {
+		if rep.state == stateHealthy {
+			healthy = append(healthy, rep)
+		}
+	}
+	rt.ring = buildRing(healthy, rt.opts.Vnodes)
+}
+
+func (rt *Router) fetchHealthz(ctx context.Context, url string) (replicaHealthz, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.opts.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return replicaHealthz{}, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return replicaHealthz{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return replicaHealthz{}, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	var h replicaHealthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return replicaHealthz{}, fmt.Errorf("healthz decode: %w", err)
+	}
+	if h.Status != "ok" {
+		return replicaHealthz{}, fmt.Errorf("healthz status %q", h.Status)
+	}
+	if h.Fingerprint == "" {
+		return replicaHealthz{}, fmt.Errorf("healthz carries no dataset fingerprint (old tcserve?)")
+	}
+	return h, nil
+}
+
+// Start launches the background health loop at Options.HealthInterval.
+// It is a no-op when the interval is zero (tests drive CheckNow
+// directly). Close stops the loop.
+func (rt *Router) Start() {
+	if rt.opts.HealthInterval <= 0 {
+		return
+	}
+	rt.loopWG.Add(1)
+	go func() {
+		defer rt.loopWG.Done()
+		t := time.NewTicker(rt.opts.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-t.C:
+				rt.CheckNow(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the health loop. Safe to call multiple times.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.loopWG.Wait()
+}

@@ -1,0 +1,85 @@
+package router
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMergeRecordsSemantics(t *testing.T) {
+	a := Record{
+		RestructureReads: 10, RestructureWrites: 4, ComputeReads: 20, ComputeWrites: 6,
+		BufferHits: 30, BufferMisses: 10, BufferEvicts: 5,
+		TuplesGenerated: 100, Duplicates: 20, DistinctTuples: 80, SourceTuples: 40,
+		SuccessorsFetched: 15, ListUnions: 10, ArcsConsidered: 50, ArcsMarked: 25,
+		UnmarkedLocality: 2.0,
+		MagicNodes:       12, MagicArcs: 30, MagicH: 4, MagicW: 3,
+		PageSplits: 1, ListsMoved: 2, EntriesMoved: 3, Overflows: 1,
+		RestructureMS: 5, ComputeMS: 9,
+	}
+	b := Record{
+		RestructureReads: 2, RestructureWrites: 1, ComputeReads: 5, ComputeWrites: 2,
+		BufferHits: 10, BufferMisses: 30, BufferEvicts: 2,
+		TuplesGenerated: 50, Duplicates: 10, DistinctTuples: 40, SourceTuples: 40,
+		SuccessorsFetched: 5, ListUnions: 30, ArcsConsidered: 50, ArcsMarked: 50,
+		UnmarkedLocality: 6.0,
+		MagicNodes:       8, MagicArcs: 10, MagicH: 7, MagicW: 1,
+		RestructureMS: 11, ComputeMS: 3,
+	}
+	m := MergeRecords([]Record{a, b})
+
+	// Additive counters sum.
+	if m.RestructureReads != 12 || m.ComputeReads != 25 || m.TuplesGenerated != 150 ||
+		m.DistinctTuples != 120 || m.ArcsMarked != 75 || m.MagicNodes != 20 || m.PageSplits != 1 {
+		t.Fatalf("additive counters wrong: %+v", m)
+	}
+	// Phase times max (workers ran concurrently); magic dimensions max.
+	if m.RestructureMS != 11 || m.ComputeMS != 9 || m.MagicH != 7 || m.MagicW != 3 {
+		t.Fatalf("max fields wrong: rms=%v cms=%v h=%v w=%v", m.RestructureMS, m.ComputeMS, m.MagicH, m.MagicW)
+	}
+	// Derived ratios recomputed from merged counters, not averaged.
+	if m.TotalIO != 12+5+25+8 {
+		t.Fatalf("total_io %d", m.TotalIO)
+	}
+	if want := float64(40) / 80; m.BufferHitRatio != want {
+		t.Fatalf("buffer_hit_ratio %v, want %v", m.BufferHitRatio, want)
+	}
+	if want := 100 * float64(75) / 100; m.MarkingPct != want {
+		t.Fatalf("marking_pct %v, want %v", m.MarkingPct, want)
+	}
+	if want := float64(80) / 120; m.SelectionEfficiency != want {
+		t.Fatalf("selection_efficiency %v, want %v", m.SelectionEfficiency, want)
+	}
+	if m.EstimatedIOMS != float64(m.TotalIO)*20 {
+		t.Fatalf("estimated_io_ms %v", m.EstimatedIOMS)
+	}
+	// Unmarked locality: union-weighted mean.
+	if want := (2.0*10 + 6.0*30) / 40; math.Abs(m.UnmarkedLocality-want) > 1e-12 {
+		t.Fatalf("unmarked_locality %v, want %v", m.UnmarkedLocality, want)
+	}
+}
+
+func TestMergeRecordsIdentity(t *testing.T) {
+	// Merging a single record recomputes its derived fields but changes
+	// no counters: a one-shard scatter must look exactly like a direct
+	// server answer.
+	r := Record{
+		RestructureReads: 3, ComputeReads: 7, ComputeWrites: 2,
+		BufferHits: 9, BufferMisses: 1,
+		DistinctTuples: 10, SourceTuples: 5,
+		ArcsConsidered: 8, ArcsMarked: 2,
+		ListUnions: 4, UnmarkedLocality: 1.5,
+		RestructureMS: 2.5, ComputeMS: 1.25,
+	}
+	r.TotalIO = 12
+	r.EstimatedIOMS = 240
+	r.BufferHitRatio = 0.9
+	r.MarkingPct = 25
+	r.SelectionEfficiency = 0.5
+	m := MergeRecords([]Record{r})
+	if m != r {
+		t.Fatalf("single-record merge changed the record:\n got %+v\nwant %+v", m, r)
+	}
+	if got := MergeRecords(nil); got != (Record{}) {
+		t.Fatalf("empty merge = %+v", got)
+	}
+}

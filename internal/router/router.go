@@ -1,0 +1,636 @@
+// Package router is the scatter-gather serving tier in front of a fleet
+// of stateless tcserve replicas. The paper's partitioned algorithms
+// already decompose a closure query into independent per-source work, so
+// horizontal sharding is routing, not rework: every replica holds a full
+// copy of the sealed database (and index) files, a consistent-hash ring
+// assigns each source vertex an owning replica — keeping that replica's
+// result cache warm for the sources it owns — and a multi-source query
+// scatters one sub-query per owning replica, gathering the answers into a
+// single response whose metric record merges per-shard records with the
+// same additive-counters/max-phase-times semantics as core's parallel
+// worker merge.
+//
+// Three defenses keep the tier serving under replica trouble:
+//
+//   - health: replicas are enrolled only while /healthz answers with the
+//     fleet's dataset fingerprint; consecutive failures mark a replica
+//     out, consecutive successes re-enroll it, and a mismatched
+//     fingerprint (a replica serving the wrong graph) is refused outright.
+//   - retries: transient sub-request outcomes (503, transport errors) are
+//     retried with the tcload backoff policy (internal/httpretry),
+//     rotating to the next healthy replica — any replica can answer any
+//     sub-query, ownership is only an affinity.
+//   - hedging: a sub-request that exceeds a latency threshold triggers a
+//     second request to the next healthy replica; the first useful answer
+//     wins and the loser is cancelled through its context.
+//
+// The router exposes its own Prometheus /metrics through internal/obsv.
+// See docs/ROUTER.md.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"tcstudy/internal/httpretry"
+)
+
+// Options configures a Router. Zero values select the defaults.
+type Options struct {
+	// Replicas are the tcserve base URLs fronted by this router.
+	Replicas []string
+	// HealthInterval is the period of the background /healthz sweep
+	// started by Start (default 2s; <= 0 disables the loop — tests drive
+	// CheckNow directly).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one /healthz probe (default 2s).
+	HealthTimeout time.Duration
+	// FailThreshold is how many consecutive health-check failures mark a
+	// healthy replica out (default 3).
+	FailThreshold int
+	// RecoverThreshold is how many consecutive successes re-enroll a
+	// replica that was marked out (default 2).
+	RecoverThreshold int
+	// Retries and Backoff set the shared transient-retry policy for shard
+	// sub-requests (defaults 2 and 25ms, tcload's defaults).
+	Retries int
+	Backoff time.Duration
+	// HedgeAfter sends a hedged second sub-request to the next healthy
+	// replica when the first has not answered within this threshold
+	// (default 0: hedging disabled).
+	HedgeAfter time.Duration
+	// ShardTimeout bounds one scattered sub-request including its retries
+	// (default 30s).
+	ShardTimeout time.Duration
+	// Vnodes is the number of consistent-hash points per replica
+	// (default 64).
+	Vnodes int
+	// ExpectFingerprint pins the fleet's dataset fingerprint. Empty means
+	// the first healthy replica's fingerprint becomes the fleet's.
+	ExpectFingerprint string
+	// Client is the HTTP client for all replica traffic (default: a
+	// dedicated client; per-request contexts carry the deadlines).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.HealthInterval == 0 {
+		o.HealthInterval = 2 * time.Second
+	}
+	if o.HealthTimeout == 0 {
+		o.HealthTimeout = 2 * time.Second
+	}
+	if o.FailThreshold == 0 {
+		o.FailThreshold = 3
+	}
+	if o.RecoverThreshold == 0 {
+		o.RecoverThreshold = 2
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Backoff == 0 {
+		o.Backoff = 25 * time.Millisecond
+	}
+	if o.ShardTimeout == 0 {
+		o.ShardTimeout = 30 * time.Second
+	}
+	if o.Vnodes == 0 {
+		o.Vnodes = 64
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// Router fans queries out over a replica fleet and gathers the answers.
+type Router struct {
+	opts   Options
+	client *http.Client
+	retry  httpretry.Policy
+	met    *Metrics
+	mux    *http.ServeMux
+
+	mu       sync.RWMutex
+	replicas []*replica
+	ring     *ring  // healthy replicas only; nil while none are enrolled
+	expect   string // fleet dataset fingerprint ("" until first enrollment)
+	nodes    int    // fleet node count, from the enrolling healthz
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopWG   sync.WaitGroup
+}
+
+// New builds a router over the given replica URLs. All replicas start
+// unenrolled; call CheckNow (or Start) to take the fleet's health.
+func New(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas configured")
+	}
+	rt := &Router{
+		opts:   opts,
+		client: opts.Client,
+		retry:  httpretry.Policy{Max: opts.Retries, Backoff: opts.Backoff},
+		met:    NewMetrics(),
+		mux:    http.NewServeMux(),
+		expect: opts.ExpectFingerprint,
+		stop:   make(chan struct{}),
+	}
+	seen := make(map[string]bool)
+	for _, url := range opts.Replicas {
+		if seen[url] {
+			return nil, fmt.Errorf("router: duplicate replica %s", url)
+		}
+		seen[url] = true
+		rt.replicas = append(rt.replicas, &replica{url: url})
+	}
+	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
+	rt.mux.HandleFunc("GET /v1/reach", rt.handleReach)
+	rt.mux.HandleFunc("GET /v1/plan", rt.handlePlan)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the live counters (for tests and embedding).
+func (rt *Router) Metrics() *Metrics { return rt.met }
+
+// snapshot returns the current ring (nil when no replica is healthy).
+func (rt *Router) snapshot() *ring {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// queryRequest mirrors tcserve's POST /v1/query body; the router rewrites
+// only the source list when scattering, every other field is forwarded
+// untouched.
+type queryRequest struct {
+	Algorithm         string  `json:"algorithm"`
+	Sources           []int32 `json:"sources"`
+	BufferPages       int     `json:"buffer_pages,omitempty"`
+	PagePolicy        string  `json:"page_policy,omitempty"`
+	ListPolicy        string  `json:"list_policy,omitempty"`
+	ILIMIT            float64 `json:"ilimit,omitempty"`
+	Parallelism       int     `json:"parallelism,omitempty"`
+	TimeoutMS         int     `json:"timeout_ms,omitempty"`
+	IncludeSuccessors bool    `json:"include_successors,omitempty"`
+}
+
+// shardResponse mirrors tcserve's POST /v1/query reply.
+type shardResponse struct {
+	Algorithm       string            `json:"algorithm"`
+	Sources         []int32           `json:"sources,omitempty"`
+	Cached          bool              `json:"cached"`
+	Deduplicated    bool              `json:"deduplicated"`
+	ElapsedMS       float64           `json:"elapsed_ms"`
+	Metrics         Record            `json:"metrics"`
+	SuccessorCounts map[int32]int     `json:"successor_counts"`
+	Successors      map[int32][]int32 `json:"successors,omitempty"`
+}
+
+// queryResponse is the router's gathered reply: the same shape a single
+// tcserve serves, plus the scatter accounting fields.
+type queryResponse struct {
+	Algorithm       string            `json:"algorithm"`
+	Sources         []int32           `json:"sources,omitempty"`
+	Cached          bool              `json:"cached"`       // every shard answered from its cache
+	Deduplicated    bool              `json:"deduplicated"` // any shard coalesced in flight
+	ElapsedMS       float64           `json:"elapsed_ms"`
+	Shards          int               `json:"shards"`
+	Retries         int               `json:"retries,omitempty"`
+	Hedges          int               `json:"hedges,omitempty"`
+	Metrics         Record            `json:"metrics"`
+	SuccessorCounts map[int32]int     `json:"successor_counts"`
+	Successors      map[int32][]int32 `json:"successors,omitempty"`
+}
+
+// shardGroup is the work for one owning replica: the sources it owns plus
+// the retry/hedge rotation starting at it.
+type shardGroup struct {
+	sources  []int32
+	rotation []*replica
+}
+
+// partition groups a query's sources by owning replica, preserving the
+// request's source order inside each group so replicas see canonical
+// sub-queries. An empty source list (full closure) is one group routed by
+// a fixed key: the whole fleet holds the whole graph, so any owner works,
+// and pinning the key keeps the full-closure cache warm on one replica.
+func partition(rg *ring, sources []int32) []shardGroup {
+	if len(sources) == 0 {
+		return []shardGroup{{sources: nil, rotation: rg.rotation(0)}}
+	}
+	order := make([]*replica, 0, 4)
+	groups := make(map[*replica]*shardGroup, 4)
+	for _, s := range sources {
+		rep := rg.owner(s)
+		g := groups[rep]
+		if g == nil {
+			g = &shardGroup{rotation: rg.rotation(s)}
+			groups[rep] = g
+			order = append(order, rep)
+		}
+		g.sources = append(g.sources, s)
+	}
+	out := make([]shardGroup, 0, len(order))
+	for _, rep := range order {
+		out = append(out, *groups[rep])
+	}
+	return out
+}
+
+// shardOutcome is the final result of one scattered sub-request after
+// retries and hedging.
+type shardOutcome struct {
+	status  int
+	body    []byte
+	err     error
+	retries int
+	hedges  int
+}
+
+// sendResult is one wire attempt's result.
+type sendResult struct {
+	status int
+	body   []byte
+	err    error
+	rep    *replica
+}
+
+// send performs one HTTP exchange with one replica and charges the
+// per-shard counters.
+func (rt *Router) send(ctx context.Context, rep *replica, method, path string, body []byte) sendResult {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rep.url+path, rd)
+	if err != nil {
+		rt.met.ShardRequest(rep.url, false)
+		return sendResult{err: err, rep: rep}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.met.ShardRequest(rep.url, false)
+		return sendResult{err: err, rep: rep}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		rt.met.ShardRequest(rep.url, false)
+		return sendResult{err: err, rep: rep}
+	}
+	rt.met.ShardRequest(rep.url, resp.StatusCode == http.StatusOK)
+	return sendResult{status: resp.StatusCode, body: b, rep: rep}
+}
+
+// hedgedSend races one attempt against a hedge: the primary goes out
+// immediately; if it has not answered within HedgeAfter, the same request
+// is sent to alt, and the first useful (non-transient) answer wins while
+// the loser's context is cancelled. With hedging disabled or no alternate
+// replica available it is a plain send.
+func (rt *Router) hedgedSend(ctx context.Context, primary, alt *replica, method, path string, body []byte) (sendResult, int) {
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	ch := make(chan sendResult, 2)
+	go func() { ch <- rt.send(pctx, primary, method, path, body) }()
+	if rt.opts.HedgeAfter <= 0 || alt == nil {
+		return <-ch, 0
+	}
+	timer := time.NewTimer(rt.opts.HedgeAfter)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r, 0
+	case <-timer.C:
+	}
+	rt.met.Hedges.Add(1)
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	go func() { ch <- rt.send(actx, alt, method, path, body) }()
+	first := <-ch
+	if !httpretry.Retryable(first.status, first.err) {
+		if first.rep == alt {
+			rt.met.HedgeWins.Add(1)
+		}
+		return first, 1 // deferred cancels abort the loser in flight
+	}
+	// The first leg to answer failed transiently. Give the surviving leg
+	// one more hedge window rather than waiting it out: HedgeAfter is the
+	// patience threshold, and the retry layer can rotate to a different
+	// replica faster than a stuck leg can answer.
+	grace := time.NewTimer(rt.opts.HedgeAfter)
+	defer grace.Stop()
+	select {
+	case second := <-ch:
+		if !httpretry.Retryable(second.status, second.err) {
+			if second.rep == alt {
+				rt.met.HedgeWins.Add(1)
+			}
+			return second, 1
+		}
+		// Both failed transiently; report the primary's outcome and let
+		// the retry layer rotate.
+		if first.rep == primary {
+			return first, 1
+		}
+		return second, 1
+	case <-grace.C:
+		return first, 1
+	}
+}
+
+// doShard runs one scattered sub-request to completion: attempts rotate
+// through the healthy replicas starting at the owner, transient outcomes
+// retry with exponential backoff, and each attempt may hedge to the next
+// replica in the rotation.
+func (rt *Router) doShard(ctx context.Context, rot []*replica, method, path string, body []byte) shardOutcome {
+	ctx, cancel := context.WithTimeout(ctx, rt.opts.ShardTimeout)
+	defer cancel()
+	var out shardOutcome
+	_, retries, _ := rt.retry.Do(ctx, func(try int) (int, error) {
+		primary := rot[try%len(rot)]
+		var alt *replica
+		if len(rot) > 1 {
+			alt = rot[(try+1)%len(rot)]
+		}
+		r, hedges := rt.hedgedSend(ctx, primary, alt, method, path, body)
+		out.status, out.body, out.err = r.status, r.body, r.err
+		out.hedges += hedges
+		return r.status, r.err
+	})
+	out.retries = retries
+	rt.met.Retries.Add(int64(retries))
+	return out
+}
+
+// failShard translates a failed shard outcome into the router's response:
+// a replica's HTTP failure passes through verbatim (the bodies carry the
+// server's own error contract — retry hints and all), a transport failure
+// after retries is a 502.
+func (rt *Router) failShard(w http.ResponseWriter, out shardOutcome) {
+	rt.met.Errors.Add(1)
+	if out.err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":     fmt.Sprintf("replica unreachable after %d retries: %v", out.retries, out.err),
+			"transient": true,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(out.status)
+	_, _ = w.Write(out.body)
+}
+
+// noReplicas rejects a request when the ring is empty.
+func (rt *Router) noReplicas(w http.ResponseWriter) {
+	rt.met.Unavailable.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":     "no healthy replicas",
+		"transient": true,
+	})
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rt.met.Queries.Add(1)
+	var qr queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+		rt.met.Errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	rg := rt.snapshot()
+	if rg == nil {
+		rt.noReplicas(w)
+		return
+	}
+	groups := partition(rg, qr.Sources)
+	rt.met.ObserveFanout(len(groups))
+
+	outcomes := make([]shardOutcome, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		sub := qr
+		sub.Sources = g.sources
+		body, err := json.Marshal(sub)
+		if err != nil {
+			rt.met.Errors.Add(1)
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		wg.Add(1)
+		go func(i int, rot []*replica, body []byte) {
+			defer wg.Done()
+			outcomes[i] = rt.doShard(r.Context(), rot, http.MethodPost, "/v1/query", body)
+		}(i, g.rotation, body)
+	}
+	wg.Wait()
+
+	resp := queryResponse{
+		Algorithm: qr.Algorithm,
+		Sources:   qr.Sources,
+		Cached:    true,
+		Shards:    len(groups),
+	}
+	records := make([]Record, 0, len(groups))
+	for _, out := range outcomes {
+		resp.Retries += out.retries
+		resp.Hedges += out.hedges
+	}
+	// A deterministic client error (4xx) wins over transient failures:
+	// the request itself is wrong and retrying elsewhere cannot help.
+	var failed *shardOutcome
+	for i := range outcomes {
+		out := &outcomes[i]
+		if out.err == nil && out.status == http.StatusOK {
+			continue
+		}
+		if failed == nil || (out.err == nil && out.status >= 400 && out.status < 500 &&
+			!(failed.err == nil && failed.status >= 400 && failed.status < 500)) {
+			failed = out
+		}
+	}
+	if failed != nil {
+		rt.failShard(w, *failed)
+		return
+	}
+	var shards []shardResponse
+	for _, out := range outcomes {
+		var sr shardResponse
+		if err := json.Unmarshal(out.body, &sr); err != nil {
+			rt.met.Errors.Add(1)
+			writeJSON(w, http.StatusBadGateway, map[string]string{"error": fmt.Sprintf("bad replica response: %v", err)})
+			return
+		}
+		shards = append(shards, sr)
+	}
+	resp.SuccessorCounts = make(map[int32]int)
+	for _, sr := range shards {
+		records = append(records, sr.Metrics)
+		resp.Cached = resp.Cached && sr.Cached
+		resp.Deduplicated = resp.Deduplicated || sr.Deduplicated
+		for node, n := range sr.SuccessorCounts {
+			resp.SuccessorCounts[node] = n
+		}
+		if sr.Successors != nil {
+			if resp.Successors == nil {
+				resp.Successors = make(map[int32][]int32)
+			}
+			for node, succ := range sr.Successors {
+				resp.Successors[node] = succ
+			}
+		}
+	}
+	resp.Metrics = MergeRecords(records)
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	rt.met.ObserveLatency(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleReach(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rt.met.Reaches.Add(1)
+	src, err := strconv.ParseInt(r.URL.Query().Get("src"), 10, 32)
+	if err != nil {
+		rt.met.Errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reach needs integer src and dst parameters"})
+		return
+	}
+	rg := rt.snapshot()
+	if rg == nil {
+		rt.noReplicas(w)
+		return
+	}
+	out := rt.doShard(r.Context(), rg.rotation(int32(src)), http.MethodGet, "/v1/reach?"+r.URL.RawQuery, nil)
+	if out.err != nil || out.status != http.StatusOK {
+		rt.failShard(w, out)
+		return
+	}
+	rt.met.ObserveLatency(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out.body)
+}
+
+// handlePlan proxies the planner ranking to one healthy replica — every
+// replica serves the same graph, so any profile is the fleet's profile.
+func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
+	rt.met.Plans.Add(1)
+	rg := rt.snapshot()
+	if rg == nil {
+		rt.noReplicas(w)
+		return
+	}
+	path := "/v1/plan"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	out := rt.doShard(r.Context(), rg.rotation(0), http.MethodGet, path, nil)
+	if out.err != nil || out.status != http.StatusOK {
+		rt.failShard(w, out)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out.body)
+}
+
+// replicaStatus is one replica's entry in the router's /healthz.
+type replicaStatus struct {
+	URL                 string `json:"url"`
+	State               string `json:"state"`
+	Fingerprint         string `json:"fingerprint,omitempty"`
+	Nodes               int    `json:"nodes,omitempty"`
+	Arcs                int    `json:"arcs,omitempty"`
+	IndexGeneration     int    `json:"index_generation,omitempty"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// handleHealthz reports the router's own health: the fleet fingerprint,
+// how many replicas are enrolled, and each replica's state. The "nodes"
+// field mirrors tcserve's healthz so load generators can point at a
+// router and a replica interchangeably.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	statuses := make([]replicaStatus, 0, len(rt.replicas))
+	healthy := 0
+	for _, rep := range rt.replicas {
+		if rep.state == stateHealthy {
+			healthy++
+		}
+		st := replicaStatus{
+			URL:                 rep.url,
+			State:               rep.state.String(),
+			Fingerprint:         rep.fingerprint,
+			Nodes:               rep.nodes,
+			Arcs:                rep.arcs,
+			ConsecutiveFailures: rep.consecFails,
+			LastError:           rep.lastErr,
+		}
+		if rep.hasIndex {
+			st.IndexGeneration = rep.indexGen
+		}
+		statuses = append(statuses, st)
+	}
+	expect, nodes := rt.expect, rt.nodes
+	rt.mu.RUnlock()
+	sort.Slice(statuses, func(i, j int) bool { return statuses[i].URL < statuses[j].URL })
+	status := "ok"
+	code := http.StatusOK
+	if healthy == 0 {
+		status = "unavailable"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":           status,
+		"fingerprint":      expect,
+		"nodes":            nodes,
+		"healthy_replicas": healthy,
+		"replicas":         statuses,
+	})
+}
+
+// healthSnapshot extracts the per-replica health bits for /metrics.
+func (rt *Router) healthSnapshot() []replicaHealth {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]replicaHealth, len(rt.replicas))
+	for i, rep := range rt.replicas {
+		out[i] = replicaHealth{url: rep.url, healthy: rep.state == stateHealthy}
+	}
+	return out
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(rt.met.Prometheus(rt.healthSnapshot())))
+}

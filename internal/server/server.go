@@ -129,6 +129,10 @@ type Server struct {
 	planOnce sync.Once
 	profile  planner.Profile
 	planErr  error
+
+	fpOnce sync.Once
+	fp     uint64
+	fpErr  error
 }
 
 // New builds a server over an already-loaded database.
@@ -716,13 +720,36 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz reports liveness plus the dataset identity a routing tier
+// needs to decide whether this replica may join a fleet: the graph's
+// CRC-64 fingerprint and, when a reachability index is loaded, its shape
+// and generation. Replicas answering with different fingerprints serve
+// different graphs and must not share a consistent-hash ring.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.fpOnce.Do(func() { s.fp, s.fpErr = s.db.Fingerprint() })
+	if s.fpErr != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"status": "degraded",
+			"error":  fmt.Sprintf("dataset fingerprint: %v", s.fpErr),
+		})
+		return
+	}
+	resp := map[string]any{
 		"status":         "ok",
 		"nodes":          s.db.N(),
 		"arcs":           s.db.NumArcs(),
+		"fingerprint":    fmt.Sprintf("%016x", s.fp),
 		"uptime_seconds": time.Since(s.met.start).Seconds(),
-	})
+	}
+	if s.idx != nil {
+		resp["index"] = map[string]any{
+			"nodes":      s.idx.N(),
+			"arcs":       s.idx.NumArcs(),
+			"stale":      s.idx.Stale(),
+			"generation": s.idx.Generation(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics serves the live counters. The default is Prometheus text
