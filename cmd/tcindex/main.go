@@ -4,11 +4,13 @@
 //
 //	tcindex build -o graph.idx -input graph.txt         # from tcgen -dump output
 //	tcindex build -o graph.idx -n 2000 -f 5 -l 200      # from the generator
-//	tcindex inspect graph.idx                           # shape, labels, staleness
+//	tcindex inspect graph.idx                           # shape, labels, generation, staleness
 //	tcindex reach graph.idx 3 777                       # one reachability probe
 //
 // The input file format is the "src dst" line format tcgen -dump emits and
-// tcquery -input consumes.
+// tcquery -input consumes. reach exits 3 when the index is stale: the
+// printed answer predates a closure-changing mutation and must not be
+// trusted by scripts.
 package main
 
 import (
@@ -111,6 +113,8 @@ func inspect(args []string) {
 	fmt.Printf("chains         %d\n", st.Chains)
 	fmt.Printf("label entries  %d (avg %.1f per component)\n", st.LabelEntries, st.AvgLabel)
 	fmt.Printf("chain overlap  %.2f (sampled label pairs sharing a chain)\n", st.ChainOverlap)
+	fmt.Printf("generation     %d\n", st.Generation)
+	fmt.Printf("merged comps   %d (SCC merges absorbed in place)\n", st.Merged)
 	fmt.Printf("stale          %t\n", st.Stale)
 }
 
@@ -132,7 +136,10 @@ func reach(args []string) {
 	elapsed := time.Since(start)
 	fmt.Printf("%d -> %d: %t (%s)\n", src, dst, ok, elapsed)
 	if x.Stale() {
-		fmt.Fprintln(os.Stderr, "tcindex: warning: index is stale; answer predates the violating insert")
+		// The answer is printed for inspection, but scripts must not trust
+		// it: a stale index predates a closure-changing mutation.
+		fmt.Fprintln(os.Stderr, "tcindex: index is stale; answer predates the violating mutation")
+		os.Exit(3)
 	}
 }
 

@@ -10,10 +10,18 @@
 // and -reachdist picks their src/dst distribution (uniform, zipf for hot
 // sources, local for dst within -reachspan of src).
 //
+// Against a mutable server (tcserve -mutable, or a tcrouter fronting a
+// mutable fleet), -writemix interleaves POST /v1/arc mutation batches into
+// the stream: each write batch carries -writeops random insert/delete ops
+// drawn from the same node space. Writes share the retry policy and the
+// collector, so 429 backlog rejections count as admission control, not
+// errors.
+//
 // Examples (against tcserve -n 2000):
 //
 //	tcload -addr http://localhost:8080 -duration 10s -qps 200 -reach 0.5
 //	tcload -addr http://localhost:8080 -reach 1 -reachdist zipf -qps 500
+//	tcload -addr http://localhost:8080 -writemix 0.1 -writeops 4 -qps 100
 //
 // Rejections (HTTP 429, admission control working as intended) are counted
 // separately from errors. The exit status is nonzero if any request failed
@@ -56,6 +64,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		retries    = flag.Int("retries", 2, "retry attempts for transient 503 responses and transport errors")
 		backoff    = flag.Duration("backoff", 25*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		writeMix   = flag.Float64("writemix", 0, "fraction of requests that are POST /v1/arc mutation batches (requires a mutable server)")
+		writeOps   = flag.Int("writeops", 4, "insert/delete ops per mutation batch")
+		deletePct  = flag.Int("deletepct", 30, "percentage of mutation ops that are deletes")
 	)
 	flag.Parse()
 	retryPolicy = httpretry.Policy{Max: *retries, Backoff: *backoff}
@@ -96,7 +107,11 @@ func main() {
 		}
 		var op func()
 		base := next()
-		if rng.Float64() < *reachFrac {
+		if *writeMix > 0 && rng.Float64() < *writeMix {
+			body := makeArcBatch(rng, nodes, *writeOps, *deletePct)
+			url := base + "/v1/arc"
+			op = func() { stats.observe(doPost(client, url, body)) }
+		} else if rng.Float64() < *reachFrac {
 			src, dst := pickReach()
 			url := fmt.Sprintf("%s/v1/reach?src=%d&dst=%d", base, src, dst)
 			op = func() { stats.observe(doGet(client, url)) }
@@ -254,6 +269,36 @@ func buildShapes(algs string, nodes, maxSources, pool int, m int, seed int64) []
 		shapes = append(shapes, b)
 	}
 	return shapes
+}
+
+// makeArcBatch builds one POST /v1/arc body of random insert/delete ops
+// over the server's node space. Deletes pick arbitrary endpoints — a miss
+// is a no-op server-side, which keeps the stream valid without tracking
+// the live arc set client-side.
+func makeArcBatch(rng *rand.Rand, nodes, ops, deletePct int) []byte {
+	if ops < 1 {
+		ops = 1
+	}
+	type arcOp struct {
+		Op   string `json:"op"`
+		From int32  `json:"from"`
+		To   int32  `json:"to"`
+	}
+	batch := struct {
+		Ops []arcOp `json:"ops"`
+	}{Ops: make([]arcOp, ops)}
+	for i := range batch.Ops {
+		op := "insert"
+		if rng.Intn(100) < deletePct {
+			op = "delete"
+		}
+		batch.Ops[i] = arcOp{Op: op, From: int32(rng.Intn(nodes) + 1), To: int32(rng.Intn(nodes) + 1)}
+	}
+	b, err := json.Marshal(batch)
+	if err != nil {
+		fatal(err)
+	}
+	return b
 }
 
 // outcome classifies one request.

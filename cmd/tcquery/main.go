@@ -10,6 +10,15 @@
 //	tcquery -alg srch -input graph.txt -sources 1 -show
 //	tcquery -index graph.idx -sources 1 -show   # prebuilt index, zero page I/O
 //	tcquery -alg hyb -n 2000 -sources 3,250 -trace   # append the span tree as JSON
+//	tcquery -n 50 -mutate insert:1:40,delete:3:4 -sources 1 -show
+//
+// With -mutate, the graph is loaded into an offline copy of the dynamic
+// mutation service (the same code path tcserve -mutable runs): the
+// comma-separated insert:from:to / delete:from:to ops are applied as one
+// batch, a generational rebuild folds in any closure-shrinking deletes,
+// and the successor sets of -sources come from the mutated index. The
+// printed fingerprint matches what a mutable server would report after
+// the same batch, so offline runs can be diffed against a live fleet.
 //
 // With -trace the run carries a phase-span tracer and the nested span tree
 // — query → restructure/compute → per-source or per-worker — is printed as
@@ -30,6 +39,7 @@ import (
 	"time"
 
 	"tcstudy/internal/core"
+	"tcstudy/internal/dynamic"
 	"tcstudy/internal/graph"
 	"tcstudy/internal/graphgen"
 	"tcstudy/internal/index"
@@ -58,6 +68,7 @@ func main() {
 		plan       = flag.Bool("plan", false, "print the planner's cost estimates before running")
 		agg        = flag.String("agg", "", "run a generalized-closure aggregate instead: minhops, maxhops, pathcount")
 		trace      = flag.Bool("trace", false, "record phase spans and print the span tree as JSON after the metric record")
+		mutate     = flag.String("mutate", "", "apply comma-separated insert:from:to / delete:from:to ops through the dynamic service, then answer -sources from the mutated index")
 	)
 	flag.Parse()
 
@@ -112,6 +123,11 @@ func main() {
 			}
 			q.Sources = append(q.Sources, int32(v))
 		}
+	}
+
+	if *mutate != "" {
+		runMutateQuery(db, *mutate, q.Sources, *show)
+		return
 	}
 
 	if *plan {
@@ -272,6 +288,113 @@ func runIndexQuery(path, sources string, show bool) {
 			fmt.Printf("%d -> %v\n", k, succ[k])
 		}
 	}
+}
+
+// runMutateQuery feeds the loaded graph through the dynamic mutation
+// service offline: one batch of parsed ops, a rebuild folding any
+// closure-shrinking deletes, then the mutated index answers the sources.
+func runMutateQuery(db *core.Database, spec string, sources []int32, show bool) {
+	arcs, err := db.Arcs()
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := index.Build(graph.New(db.N(), arcs))
+	if err != nil {
+		fatal(err)
+	}
+	fp, err := db.Fingerprint()
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := dynamic.New(db.N(), arcs, idx, dynamic.Options{Manual: true, BaseFingerprint: fp})
+	if err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+
+	ops, err := parseMutateSpec(spec, db.N())
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	res, err := svc.Apply(ops)
+	if err != nil {
+		fatal(err)
+	}
+	if res.Dirty {
+		if err := svc.RebuildNow(); err != nil {
+			fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	st := svc.Stats()
+
+	fmt.Printf("mutation             %d ops: %d applied, %d no-ops (%s)\n",
+		len(ops), res.Applied, res.Noops, elapsed.Round(time.Microsecond))
+	if res.Merged > 0 {
+		fmt.Printf("scc merges           %d components absorbed in place\n", res.Merged)
+	}
+	fmt.Printf("graph                n=%d |G|=%d\n", db.N(), st.NumArcs)
+	fmt.Printf("generation           %d (seq %d)\n", st.Generation, st.Seq)
+	fmt.Printf("fingerprint          %016x\n", st.Fingerprint)
+
+	mutated := svc.Index()
+	effective := sources
+	if len(effective) == 0 {
+		effective = make([]int32, db.N())
+		for i := range effective {
+			effective[i] = int32(i + 1)
+		}
+	}
+	var tuples int64
+	succ := make(map[int32][]int32, len(effective))
+	for _, s := range effective {
+		succ[s] = mutated.Successors(s)
+		tuples += int64(len(succ[s]))
+	}
+	fmt.Printf("tuples materialized  %d\n", tuples)
+	if show {
+		var keys []int32
+		for k := range succ {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			fmt.Printf("%d -> %v\n", k, succ[k])
+		}
+	}
+}
+
+// parseMutateSpec parses "insert:1:40,delete:3:4" into a mutation batch.
+func parseMutateSpec(spec string, n int) ([]dynamic.Op, error) {
+	var ops []dynamic.Op
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad mutation %q: want op:from:to", part)
+		}
+		kind := fields[0]
+		if kind != dynamic.OpInsert && kind != dynamic.OpDelete {
+			return nil, fmt.Errorf("bad mutation %q: op must be insert or delete", part)
+		}
+		from, err1 := strconv.ParseInt(fields[1], 10, 32)
+		to, err2 := strconv.ParseInt(fields[2], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad mutation %q: from and to must be integers", part)
+		}
+		if from < 1 || from > int64(n) || to < 1 || to > int64(n) {
+			return nil, fmt.Errorf("bad mutation %q: nodes are 1..%d", part, n)
+		}
+		ops = append(ops, dynamic.Op{Op: kind, From: int32(from), To: int32(to)})
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("-mutate %q contains no ops", spec)
+	}
+	return ops, nil
 }
 
 // printTrace finishes the root span and prints the span tree as indented

@@ -7,12 +7,19 @@
 //
 //	POST /v1/query            scatter by source, gather + merge metric records
 //	GET  /v1/reach?src=&dst=  routed to the source's owning replica
+//	POST /v1/arc              mutation batch replicated to every enrolled replica
 //	GET  /v1/plan             proxied to one healthy replica
 //	GET  /healthz             router + per-replica enrollment state
 //	GET  /metrics             Prometheus text format (shard/hedge/retry counters)
 //
 // Every replica must serve the same dataset: enrollment compares the
 // /healthz fingerprint and refuses replicas serving a different graph.
+//
+// Against a mutable fleet (tcserve -mutable), POST /v1/arc fans each
+// mutation batch to every enrolled replica and fails the batch unless all
+// of them acknowledge with matching fingerprints; -maxgenlag holds
+// replicas whose applied write sequence trails the fleet out of the read
+// ring until they catch up. See docs/DYNAMIC.md.
 //
 // Example (three replicas of the same generated graph):
 //
@@ -53,6 +60,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-shard sub-request deadline including retries")
 		vnodes   = flag.Int("vnodes", 64, "consistent-hash points per replica")
 		expect   = flag.String("fingerprint", "", "require this dataset fingerprint (default: first healthy replica pins it)")
+		maxLag   = flag.Int("maxgenlag", 0, "exclude replicas whose write sequence trails the fleet by more than this from the read ring (0 disables)")
 	)
 	flag.Parse()
 	if *replicas == "" {
@@ -76,6 +84,7 @@ func main() {
 		ShardTimeout:      *timeout,
 		Vnodes:            *vnodes,
 		ExpectFingerprint: *expect,
+		MaxGenerationLag:  *maxLag,
 	})
 	if err != nil {
 		fatal(err)

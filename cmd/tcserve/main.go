@@ -6,6 +6,7 @@
 //
 //	POST /v1/query            run one closure query, full metric record
 //	GET  /v1/reach?src=&dst=  boolean reachability fast path
+//	POST /v1/arc              mutate the graph (-mutable): insert/delete arc batches
 //	GET  /v1/plan             planner ranking for the loaded graph
 //	GET  /healthz             liveness + graph shape
 //	GET  /metrics             Prometheus text format (?format=json for the JSON snapshot)
@@ -16,12 +17,21 @@
 //	tcserve -addr :8080 -n 2000 -f 5 -l 200
 //	tcserve -addr :8080 -db /var/lib/tc/db -workers 16 -cache 1024
 //	tcserve -addr :8080 -n 2000 -index g.idx   # O(1) /v1/reach via tcindex build
+//	tcserve -addr :8080 -n 2000 -mutable       # read/write graph service
 //	tcserve -addr :8080 -pprof localhost:6060 -parallelism 4
 //	tcserve -addr :8080 -n 2000 -slowlog 250ms -tracebuf 256
 //
 // With -index, GET /v1/reach is answered from the prebuilt reachability
 // index (zero page I/O, no engine work); the engine path remains the
 // fallback while the index is absent or stale.
+//
+// With -mutable, the server becomes a read/write graph service: POST
+// /v1/arc accepts insert/delete batches, cycle-creating inserts merge SCCs
+// in the live index, closure-shrinking deletes trigger background
+// generational rebuilds while a delta overlay keeps answers exact, and
+// /healthz carries the live fingerprint, sequence and generation so
+// tcrouter can replicate writes and exclude lagging replicas. See
+// docs/DYNAMIC.md.
 //
 // Requests are traced by default (-tracebuf 64 recent span trees behind
 // /debug/traces; 0 disables). With -slowlog, every request over the
@@ -46,6 +56,8 @@ import (
 	"time"
 
 	"tcstudy/internal/core"
+	"tcstudy/internal/dynamic"
+	"tcstudy/internal/graph"
 	"tcstudy/internal/graphgen"
 	"tcstudy/internal/index"
 	"tcstudy/internal/server"
@@ -71,6 +83,9 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 		traceBuf   = flag.Int("tracebuf", 64, "recent request span trees kept for /debug/traces (0 disables tracing)")
 		slowLog    = flag.Duration("slowlog", 0, "log requests slower than this with span tree and replay command (0 disables)")
+		mutable    = flag.Bool("mutable", false, "accept POST /v1/arc mutations; /v1/reach serves the live graph")
+		maxBatch   = flag.Int("maxbatch", 1024, "max ops per mutation batch (-mutable)")
+		maxPending = flag.Int("maxpending", 256, "mutation batches allowed past the sealed index before 429 (-mutable)")
 	)
 	flag.Parse()
 
@@ -106,6 +121,35 @@ func main() {
 		}
 	}
 
+	var dyn *dynamic.Service
+	if *mutable {
+		arcs, err := db.Arcs()
+		if err != nil {
+			fatal(err)
+		}
+		base := idx
+		if base == nil || base.Stale() {
+			// No (usable) prebuilt index: seal generation zero ourselves.
+			if base, err = index.Build(graph.New(db.N(), arcs)); err != nil {
+				fatal(err)
+			}
+		}
+		fp, err := db.Fingerprint()
+		if err != nil {
+			fatal(err)
+		}
+		dyn, err = dynamic.New(db.N(), arcs, base, dynamic.Options{
+			BaseFingerprint: fp,
+			MaxBatchOps:     *maxBatch,
+			MaxPending:      *maxPending,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer dyn.Close()
+		log.Printf("mutable graph service: POST /v1/arc enabled (maxbatch=%d maxpending=%d)", *maxBatch, *maxPending)
+	}
+
 	// The replay fragment reconstructs the served graph for slow-query log
 	// entries: tcquery <replayArgs> <request flags> -trace reruns the same
 	// engine work offline.
@@ -126,6 +170,7 @@ func main() {
 			Parallelism: *par,
 		},
 		Index:       idx,
+		Dynamic:     dyn,
 		TraceBuffer: *traceBuf,
 		SlowQuery:   *slowLog,
 		ReplayArgs:  replayArgs,

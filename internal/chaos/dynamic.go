@@ -1,0 +1,295 @@
+package chaos
+
+import (
+	"fmt"
+
+	"tcstudy/internal/core"
+	"tcstudy/internal/dynamic"
+	"tcstudy/internal/faultdisk"
+	"tcstudy/internal/graph"
+	"tcstudy/internal/graphgen"
+	"tcstudy/internal/index"
+	"tcstudy/internal/pagedisk"
+)
+
+// MutationCase is one seeded dynamic-service scenario: a generated base
+// DAG plus a deterministic schedule of insert/delete batches.
+type MutationCase struct {
+	Seed      int64 // drives graph generation and the mutation schedule
+	Nodes     int
+	OutDegree int
+	Locality  int
+
+	Steps      int // mutation batches applied
+	OpsPerStep int // arcs mutated per batch
+	DeletePct  int // percentage of ops that are deletes (rest inserts)
+
+	// RebuildEvery forces a generational rebuild after every k-th batch
+	// (0: never — the overlay serves every dirty read). Between forced
+	// rebuilds, dirty-state probes exercise the overlay path, so a
+	// schedule with RebuildEvery > 1 covers both sides of a swap.
+	RebuildEvery int
+
+	// Probes is the number of random reach probes cross-checked against
+	// the oracle after every batch (and again after every rebuild).
+	Probes int
+}
+
+// String renders the case for replay messages.
+func (c MutationCase) String() string {
+	return fmt.Sprintf("seed=%d n=%d f=%d l=%d steps=%d ops=%d del=%d%% rebuild=%d probes=%d",
+		c.Seed, c.Nodes, c.OutDegree, c.Locality, c.Steps, c.OpsPerStep, c.DeletePct, c.RebuildEvery, c.Probes)
+}
+
+// arcKey identifies one arc in the oracle's mirror of the live graph.
+type arcKey struct{ from, to int32 }
+
+// dynOracle answers reach probes by BFS over a mirror adjacency that is
+// mutated in lockstep with the service. Closure semantics: a node reaches
+// itself only through a cycle.
+type dynOracle struct {
+	n   int
+	adj map[int32]map[int32]bool
+}
+
+func newDynOracle(n int, arcs []graph.Arc) *dynOracle {
+	o := &dynOracle{n: n, adj: make(map[int32]map[int32]bool)}
+	for _, a := range arcs {
+		o.insert(a.From, a.To)
+	}
+	return o
+}
+
+func (o *dynOracle) insert(u, v int32) {
+	if o.adj[u] == nil {
+		o.adj[u] = make(map[int32]bool)
+	}
+	o.adj[u][v] = true
+}
+
+func (o *dynOracle) delete(u, v int32) {
+	if o.adj[u] != nil {
+		delete(o.adj[u], v)
+	}
+}
+
+func (o *dynOracle) reach(src, dst int32) bool {
+	seen := make([]bool, o.n+1)
+	queue := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range o.adj[u] {
+			if v == dst {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return false
+}
+
+// lcg is the schedule's deterministic random stream.
+type lcg uint64
+
+func (r *lcg) next(n int32) int32 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return int32(uint64(*r)>>33)%n + 1
+}
+
+func (r *lcg) pct() int {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return int(uint64(*r) >> 33 % 100)
+}
+
+// RunDynamic drives one seeded mutation schedule against the dynamic
+// service and cross-checks every phase against the BFS oracle:
+//
+//   - after every batch, random reach probes must match the oracle exactly
+//     — including while a closure-shrinking delete has the service dirty
+//     and the delta overlay is answering;
+//   - after every forced generational rebuild, the probes must still
+//     match (the swapped index absorbed the replayed log);
+//   - at the end, the mutation log is replayed into a fresh service built
+//     from the base graph (crash recovery) which must converge to the
+//     same sequence, fingerprint and answers, before and after its own
+//     rebuild.
+func RunDynamic(c MutationCase) error {
+	svc, oracle, err := c.start()
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	return c.drive(svc, oracle, nil)
+}
+
+// RunDynamicFaulted runs the same schedule while the base relation's
+// store is wrapped in fault injection and a frozen-graph engine query runs
+// between batches. The mutation subsystem shares no storage with the
+// engine, so injected faults must never perturb a probe's answer — and the
+// engine itself must keep its exact-or-transient contract while mutations
+// churn beside it.
+func RunDynamicFaulted(c MutationCase, opts faultdisk.Options) error {
+	svc, oracle, err := c.start()
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	arcs, err := graphgen.Generate(graphgen.Params{
+		Nodes: c.Nodes, OutDegree: c.OutDegree, Locality: c.Locality, Seed: c.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: dynamic case {%s}: generate: %w", c, err)
+	}
+	db := core.NewDatabase(c.Nodes, arcs)
+	want := Oracle(c.Nodes, arcs, []int32{1})
+	clean := db.SwapStore(faultdisk.Wrap(db.Store(), opts))
+	defer db.SwapStore(clean)
+
+	engineProbe := func() error {
+		res, err := core.Run(db, core.SRCH, core.Query{Sources: []int32{1}}, core.Config{BufferPages: 8})
+		if err != nil {
+			if !pagedisk.IsTransient(err) {
+				return fmt.Errorf("chaos: dynamic case {%s} faults {%s}: engine returned a non-transient error: %w", c, opts, err)
+			}
+			return nil // clean transient failure: the contract under faults
+		}
+		if err := diff(res.Successors, want); err != nil {
+			return fmt.Errorf("chaos: dynamic case {%s} faults {%s}: engine survived injection but disagrees with oracle: %w", c, opts, err)
+		}
+		return nil
+	}
+	return c.drive(svc, oracle, engineProbe)
+}
+
+// start materializes the case: base graph, sealed index, dynamic service
+// in manual-rebuild mode (the schedule controls every swap), and the
+// oracle mirror.
+func (c MutationCase) start() (*dynamic.Service, *dynOracle, error) {
+	arcs, err := graphgen.Generate(graphgen.Params{
+		Nodes: c.Nodes, OutDegree: c.OutDegree, Locality: c.Locality, Seed: c.Seed,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: dynamic case {%s}: generate: %w", c, err)
+	}
+	idx, err := index.Build(graph.New(c.Nodes, arcs))
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: dynamic case {%s}: build index: %w", c, err)
+	}
+	svc, err := dynamic.New(c.Nodes, arcs, idx, dynamic.Options{Manual: true})
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: dynamic case {%s}: new service: %w", c, err)
+	}
+	return svc, newDynOracle(c.Nodes, svc.Arcs()), nil
+}
+
+// drive applies the schedule, probing after every batch and rebuild, then
+// runs the crash-recovery replay. between, when set, runs after each batch
+// (the faulted engine probe).
+func (c MutationCase) drive(svc *dynamic.Service, oracle *dynOracle, between func() error) error {
+	rng := lcg(uint64(c.Seed)*2654435761 + 1)
+	probe := func(phase string) error {
+		prng := rng // probes must not advance the schedule stream
+		for p := 0; p < c.Probes; p++ {
+			src, dst := prng.next(int32(c.Nodes)), prng.next(int32(c.Nodes))
+			got, _, _, err := svc.Reach(src, dst, 0)
+			if err != nil {
+				return fmt.Errorf("chaos: dynamic case {%s}: %s: reach(%d,%d): %w", c, phase, src, dst, err)
+			}
+			if want := oracle.reach(src, dst); got != want {
+				return fmt.Errorf("chaos: dynamic case {%s}: %s: reach(%d,%d)=%t, oracle says %t",
+					c, phase, src, dst, got, want)
+			}
+		}
+		return nil
+	}
+
+	for step := 0; step < c.Steps; step++ {
+		ops := make([]dynamic.Op, 0, c.OpsPerStep)
+		for k := 0; k < c.OpsPerStep; k++ {
+			op := dynamic.OpInsert
+			if rng.pct() < c.DeletePct {
+				op = dynamic.OpDelete
+			}
+			ops = append(ops, dynamic.Op{Op: op, From: rng.next(int32(c.Nodes)), To: rng.next(int32(c.Nodes))})
+		}
+		if _, err := svc.Apply(ops); err != nil {
+			return fmt.Errorf("chaos: dynamic case {%s}: step %d: apply: %w", c, step, err)
+		}
+		for _, o := range ops {
+			if o.Op == dynamic.OpInsert {
+				oracle.insert(o.From, o.To)
+			} else {
+				oracle.delete(o.From, o.To)
+			}
+		}
+		if err := probe(fmt.Sprintf("step %d", step)); err != nil {
+			return err
+		}
+		if between != nil {
+			if err := between(); err != nil {
+				return err
+			}
+		}
+		if c.RebuildEvery > 0 && (step+1)%c.RebuildEvery == 0 {
+			if err := svc.RebuildNow(); err != nil {
+				return fmt.Errorf("chaos: dynamic case {%s}: step %d: rebuild: %w", c, step, err)
+			}
+			if err := probe(fmt.Sprintf("step %d post-rebuild", step)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Crash recovery: a fresh service over the base graph replays the
+	// mutation log and must converge to the same state.
+	arcs, err := graphgen.Generate(graphgen.Params{
+		Nodes: c.Nodes, OutDegree: c.OutDegree, Locality: c.Locality, Seed: c.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: dynamic case {%s}: regenerate: %w", c, err)
+	}
+	idx, err := index.Build(graph.New(c.Nodes, arcs))
+	if err != nil {
+		return fmt.Errorf("chaos: dynamic case {%s}: rebuild base index: %w", c, err)
+	}
+	fresh, err := dynamic.New(c.Nodes, arcs, idx, dynamic.Options{Manual: true})
+	if err != nil {
+		return fmt.Errorf("chaos: dynamic case {%s}: fresh service: %w", c, err)
+	}
+	defer fresh.Close()
+	if err := fresh.ReplayLog(svc.Log()); err != nil {
+		return fmt.Errorf("chaos: dynamic case {%s}: replay: %w", c, err)
+	}
+	a, b := svc.Stats(), fresh.Stats()
+	if a.Seq != b.Seq || a.Fingerprint != b.Fingerprint || a.NumArcs != b.NumArcs {
+		return fmt.Errorf("chaos: dynamic case {%s}: replayed service diverged: seq %d/%d fp %016x/%016x arcs %d/%d",
+			c, a.Seq, b.Seq, a.Fingerprint, b.Fingerprint, a.NumArcs, b.NumArcs)
+	}
+	check := func(s *dynamic.Service, phase string) error {
+		prng := rng
+		for p := 0; p < c.Probes*2; p++ {
+			src, dst := prng.next(int32(c.Nodes)), prng.next(int32(c.Nodes))
+			got, _, _, err := s.Reach(src, dst, 0)
+			if err != nil {
+				return fmt.Errorf("chaos: dynamic case {%s}: %s: reach(%d,%d): %w", c, phase, src, dst, err)
+			}
+			if want := oracle.reach(src, dst); got != want {
+				return fmt.Errorf("chaos: dynamic case {%s}: %s: reach(%d,%d)=%t, oracle says %t",
+					c, phase, src, dst, got, want)
+			}
+		}
+		return nil
+	}
+	if err := check(fresh, "post-replay"); err != nil {
+		return err
+	}
+	if err := fresh.RebuildNow(); err != nil {
+		return fmt.Errorf("chaos: dynamic case {%s}: post-replay rebuild: %w", c, err)
+	}
+	return check(fresh, "post-replay rebuild")
+}

@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"testing"
+
+	"tcstudy/internal/faultdisk"
+)
+
+// dynamicGrid builds the mutation-schedule grid: three graph shapes at
+// several seeds each, alternating delete bias and rebuild cadence so some
+// schedules live mostly in the overlay and others swap generations
+// constantly.
+func dynamicGrid(short bool) []MutationCase {
+	shapes := []struct{ n, f, l int }{
+		{40, 3, 12},
+		{60, 4, 20},
+		{90, 2, 45},
+	}
+	seeds := 4
+	if short {
+		seeds = 1
+	}
+	var cases []MutationCase
+	for si, sh := range shapes {
+		for k := 0; k < seeds; k++ {
+			rebuild := 0 // overlay-only until the final replay
+			if k%2 == 1 {
+				rebuild = 3
+			}
+			cases = append(cases, MutationCase{
+				Seed:         int64(9000 + si*100 + k),
+				Nodes:        sh.n,
+				OutDegree:    sh.f,
+				Locality:     sh.l,
+				Steps:        10,
+				OpsPerStep:   4,
+				DeletePct:    25 + 15*(k%3),
+				RebuildEvery: rebuild,
+				Probes:       12,
+			})
+		}
+	}
+	return cases
+}
+
+// TestDynamicDifferentialGrid is the mutation subsystem's core claim: for
+// every seeded insert/delete schedule, reach answers agree with the BFS
+// oracle after every batch (overlay included), after every generational
+// rebuild, and after a crash-recovery log replay into a fresh service.
+func TestDynamicDifferentialGrid(t *testing.T) {
+	for _, c := range dynamicGrid(testing.Short()) {
+		if err := RunDynamic(c); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestDynamicFaulted churns mutations while the frozen base relation's
+// store injects read faults under a concurrent engine query: the mutation
+// subsystem shares no storage with the engine, so probes must stay
+// oracle-exact and the engine must stay exact-or-transient.
+func TestDynamicFaulted(t *testing.T) {
+	c := MutationCase{
+		Seed: 9901, Nodes: 60, OutDegree: 4, Locality: 20,
+		Steps: 8, OpsPerStep: 4, DeletePct: 35, RebuildEvery: 3, Probes: 10,
+	}
+	for _, opts := range []faultdisk.Options{
+		{Seed: 1, ReadFailProb: 0.02},
+		{Seed: 2, ReadFailProb: 0.2},
+	} {
+		if err := RunDynamicFaulted(c, opts); err != nil {
+			t.Error(err)
+		}
+	}
+}

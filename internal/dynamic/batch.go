@@ -1,0 +1,76 @@
+// Package dynamic turns the frozen serving stack into a read/write graph
+// service: it owns the authoritative adjacency for a mutable graph, an
+// append-only mutation log with per-batch sequence numbers, the in-place
+// index maintenance fast paths (acyclic folds, SCC collapse on
+// cycle-closing inserts, closure-preserving delete patches), and a
+// generational rebuild manager that keeps serving reads from the current
+// index generation while a background worker rebuilds from graph + replayed
+// log and atomically swaps generations.
+package dynamic
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Op verbs accepted by the mutation protocol.
+const (
+	OpInsert = "insert"
+	OpDelete = "delete"
+)
+
+// Op is one arc mutation.
+type Op struct {
+	Op   string `json:"op"`
+	From int32  `json:"from"`
+	To   int32  `json:"to"`
+}
+
+// Batch is one atomic group of mutations. Seq is assigned by the service
+// when the batch is applied; on the wire a client never sends it, but a
+// recovery replay (Service.Log -> ReplayLog) carries it for continuity
+// checks.
+type Batch struct {
+	Seq int64 `json:"seq,omitempty"`
+	Ops []Op  `json:"ops"`
+}
+
+// Validate checks one op against the verb set and the node range 1..n.
+func (o Op) Validate(n int) error {
+	if o.Op != OpInsert && o.Op != OpDelete {
+		return fmt.Errorf("dynamic: op %q is not %q or %q", o.Op, OpInsert, OpDelete)
+	}
+	if o.From < 1 || o.To < 1 || int(o.From) > n || int(o.To) > n {
+		return fmt.Errorf("dynamic: arc (%d,%d) outside 1..%d", o.From, o.To, n)
+	}
+	return nil
+}
+
+// ParseBatch decodes and validates one mutation batch against a graph of n
+// nodes and a per-batch op budget. The decoder is strict: unknown fields,
+// trailing garbage, an empty op list, and over-budget batches are all
+// rejected, so a malformed write can never be half-applied.
+func ParseBatch(data []byte, n, maxOps int) (Batch, error) {
+	var b Batch
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return Batch{}, fmt.Errorf("dynamic: batch decode: %w", err)
+	}
+	if dec.More() {
+		return Batch{}, fmt.Errorf("dynamic: trailing data after batch")
+	}
+	if len(b.Ops) == 0 {
+		return Batch{}, fmt.Errorf("dynamic: batch has no ops")
+	}
+	if maxOps > 0 && len(b.Ops) > maxOps {
+		return Batch{}, fmt.Errorf("dynamic: batch has %d ops, limit %d", len(b.Ops), maxOps)
+	}
+	for i, o := range b.Ops {
+		if err := o.Validate(n); err != nil {
+			return Batch{}, fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,39 @@
+package dynamic
+
+import (
+	"testing"
+)
+
+// FuzzParseBatch hammers the mutation-batch decoder: whatever the bytes,
+// it must either reject the batch or return one that passes every
+// invariant the apply path depends on — no panics, no half-valid batches.
+func FuzzParseBatch(f *testing.F) {
+	f.Add([]byte(`{"ops":[{"op":"insert","from":1,"to":2}]}`))
+	f.Add([]byte(`{"ops":[{"op":"delete","from":3,"to":3},{"op":"insert","from":2,"to":1}]}`))
+	f.Add([]byte(`{"seq":7,"ops":[{"op":"insert","from":1,"to":1}]}`))
+	f.Add([]byte(`{"ops":[]}`))
+	f.Add([]byte(`{"ops":[{"op":"upsert","from":1,"to":2}]}`))
+	f.Add([]byte(`{"ops":[{"op":"insert","from":0,"to":9999}]}`))
+	f.Add([]byte(`{"ops":[{"op":"insert","from":1,"to":2}]}trailing`))
+	f.Add([]byte(`{"unknown":1,"ops":[{"op":"insert","from":1,"to":2}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n, maxOps = 100, 8
+		b, err := ParseBatch(data, n, maxOps)
+		if err != nil {
+			return
+		}
+		if len(b.Ops) == 0 || len(b.Ops) > maxOps {
+			t.Fatalf("accepted batch with %d ops (limit %d)", len(b.Ops), maxOps)
+		}
+		for i, o := range b.Ops {
+			if o.Op != OpInsert && o.Op != OpDelete {
+				t.Fatalf("op %d: accepted verb %q", i, o.Op)
+			}
+			if o.From < 1 || o.To < 1 || int(o.From) > n || int(o.To) > n {
+				t.Fatalf("op %d: accepted out-of-range arc (%d,%d)", i, o.From, o.To)
+			}
+		}
+	})
+}

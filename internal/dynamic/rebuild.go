@@ -1,0 +1,113 @@
+package dynamic
+
+import (
+	"time"
+
+	"tcstudy/internal/graph"
+	"tcstudy/internal/index"
+)
+
+// worker is the generational rebuild loop: every kick (a closure-shrinking
+// delete while clean) triggers one RebuildNow. The channel has capacity
+// one, so bursts of dirtying deletes coalesce into a single rebuild that
+// replays all of them.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+			s.RebuildNow()
+		}
+	}
+}
+
+// RebuildNow drives one generational rebuild to completion (a no-op when
+// the service is clean). The cycle: snapshot the authoritative adjacency
+// and sequence position under a read lock, build a fresh index entirely
+// outside the locks (reads keep being served from the old generation via
+// the overlay), then under the write lock replay any batches applied since
+// the snapshot into the new index in place and atomically swap it in. If
+// the replay hits another closure-shrinking delete the new index would be
+// wrong too, so the loop snapshots again and rebuilds.
+func (s *Service) RebuildNow() error {
+	for {
+		start := time.Now()
+		s.mu.RLock()
+		if !s.dirty {
+			s.mu.RUnlock()
+			return nil
+		}
+		snapSeq := s.seq
+		n := s.n
+		arcs := s.arcsLocked()
+		s.mu.RUnlock()
+
+		nx, err := index.Build(graph.New(n, arcs))
+		if err != nil {
+			// Build only fails when the condensation is not acyclic, which
+			// Condense guarantees against; surface it rather than spin.
+			return err
+		}
+
+		s.mu.Lock()
+		replayed := 0
+		ok := true
+		for _, b := range s.log[snapSeq:] {
+			if !replayBatch(nx, b) {
+				ok = false
+				break
+			}
+			replayed++
+		}
+		if !ok {
+			s.mu.Unlock()
+			continue
+		}
+		s.idx = nx
+		s.idxSeq = s.seq
+		s.dirty = false
+		s.pendIns = 0
+		s.generation++
+		s.rebuilds++
+		gen := s.generation
+		hook := s.opts.OnRebuild
+		s.mu.Unlock()
+		if hook != nil {
+			hook(gen, replayed, time.Since(start))
+		}
+		return nil
+	}
+}
+
+// replayBatch folds one logged batch into a freshly built index whose
+// graph state matches the log position just before the batch. It reports
+// false when the batch contains a closure-shrinking delete, which no
+// in-place patch covers — the caller must rebuild from a later snapshot.
+func replayBatch(nx *index.Index, b logBatch) bool {
+	for _, lo := range b.ops {
+		if !lo.applied {
+			continue
+		}
+		if lo.Op.Op == OpInsert {
+			if _, err := nx.InsertArcMerge(lo.From, lo.To); err != nil {
+				return false
+			}
+			continue
+		}
+		switch {
+		case lo.From == lo.To:
+			if nx.DeleteSelfLoop(lo.From) != nil {
+				return false
+			}
+		case lo.shrinking:
+			return false
+		default:
+			if nx.DeleteRedundantArc(lo.From, lo.To) != nil {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -274,6 +274,14 @@ func (x *Index) dagReach(a, b int32) bool {
 	return p >= 0 && p <= x.chainPos[b]
 }
 
+// live reports whether DAG node d is still a component of its own. A node
+// whose members were absorbed by an InsertArcMerge cycle collapse keeps its
+// chain slot (labels may still point at it) but owns no original nodes and
+// must be skipped by sweeps over components.
+func (x *Index) live(d int32) bool {
+	return len(x.members[d]) > 0
+}
+
 // Successors returns every node reachable from src (closure semantics),
 // sorted ascending. It enumerates the label's chains: reaching position p
 // of a chain means reaching all of its members from p on.
@@ -298,7 +306,17 @@ func (x *Index) Successors(src int32) []int32 {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	// After a cycle collapse the source's merged label carries its own
+	// chain point, so its members can appear both above and through the
+	// chain walk; collapse duplicates.
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // Stats summarizes the index shape for inspection tooling.
@@ -311,6 +329,8 @@ type Stats struct {
 	AvgLabel     float64 // label entries per DAG node
 	ChainOverlap float64 // fraction of sampled label pairs whose chain sets intersect
 	Stale        bool
+	Generation   int // in-place mutations folded since build/load
+	Merged       int // components absorbed by cycle-collapsing inserts
 }
 
 // ComputeStats derives the summary. ChainOverlap samples up to 64
@@ -327,9 +347,13 @@ func (x *Index) ComputeStats() Stats {
 		Components: k,
 		Chains:     x.numChains,
 		Stale:      x.stale,
+		Generation: x.gen,
 	}
 	for d := 1; d <= k; d++ {
 		st.LabelEntries += len(x.labels[d].chains)
+		if !x.live(int32(d)) {
+			st.Merged++
+		}
 	}
 	if k > 0 {
 		st.AvgLabel = float64(st.LabelEntries) / float64(k)

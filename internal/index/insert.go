@@ -52,9 +52,15 @@ func (x *Index) InsertArc(u, v int32) error {
 	if x.dagReach(cu, cv) {
 		return nil // already reachable; labels are transitively closed
 	}
+	x.foldAcyclicLocked(cu, cv)
+	return nil
+}
 
-	// Contribution of the new arc: cv itself plus everything cv reaches,
-	// as one dense (chain -> minPos) view.
+// foldAcyclicLocked merges the closure contribution of the new arc
+// cu -> cv (cv itself plus everything cv reaches) into every live
+// component that reaches cu, cu included. Membership is answered by the
+// index itself in O(log k) per candidate.
+func (x *Index) foldAcyclicLocked(cu, cv int32) {
 	dense := make([]int32, x.numChains)
 	for i := range dense {
 		dense[i] = -1
@@ -67,15 +73,14 @@ func (x *Index) InsertArc(u, v int32) error {
 	}
 	cont := packLabel(dense, touched, x.numChains)
 
-	// Every component that reaches cu (and cu itself) gains the
-	// contribution. Membership is answered by the index itself in
-	// O(log k) per candidate.
 	for d := int32(1); d < int32(len(x.labels)); d++ {
+		if !x.live(d) {
+			continue
+		}
 		if d == cu || x.dagReach(d, cu) {
 			x.mergeLabel(d, &cont)
 		}
 	}
-	return nil
 }
 
 // mergeLabel folds contribution cont into component d's label: a sorted

@@ -54,6 +54,16 @@ type replica struct {
 	arcs        int
 	indexGen    int
 	hasIndex    bool
+
+	// Dynamic (mutable) replica state, from healthz's dynamic block or
+	// refreshed by a write fan-out. lagExcluded marks a healthy replica
+	// held out of the read ring because its applied sequence trails the
+	// fleet beyond Options.MaxGenerationLag; it still receives writes.
+	hasDyn      bool
+	dynSeq      int64
+	dynGen      int64
+	dynPending  int
+	lagExcluded bool
 }
 
 // replicaHealthz is the subset of tcserve's /healthz body the router
@@ -67,6 +77,11 @@ type replicaHealthz struct {
 		Generation int  `json:"generation"`
 		Stale      bool `json:"stale"`
 	} `json:"index"`
+	Dynamic *struct {
+		Seq        int64 `json:"seq"`
+		Generation int64 `json:"generation"`
+		Pending    int   `json:"pending"`
+	} `json:"dynamic"`
 }
 
 // CheckNow sweeps every replica's /healthz once, synchronously, and
@@ -105,7 +120,10 @@ func (rt *Router) CheckNow(ctx context.Context) {
 			changed = true
 		}
 	}
-	if changed || rt.ring == nil {
+	// With lag exclusion on, replica sequence numbers move without any
+	// enrollment transition, so the ring membership must be recomputed on
+	// every sweep, not only on state changes.
+	if changed || rt.ring == nil || rt.opts.MaxGenerationLag > 0 {
 		rt.rebuildRingLocked()
 	}
 }
@@ -137,6 +155,12 @@ func (rt *Router) applyProbe(rep *replica, h replicaHealthz, err error) bool {
 	rep.hasIndex = h.Index != nil
 	if h.Index != nil {
 		rep.indexGen = h.Index.Generation
+	}
+	rep.hasDyn = h.Dynamic != nil
+	if h.Dynamic != nil {
+		rep.dynSeq = h.Dynamic.Seq
+		rep.dynGen = h.Dynamic.Generation
+		rep.dynPending = h.Dynamic.Pending
 	}
 
 	// Enrollment gate: the first healthy replica pins the fleet's dataset
@@ -180,13 +204,33 @@ func (rt *Router) applyProbe(rep *replica, h replicaHealthz, err error) bool {
 }
 
 // rebuildRingLocked rebuilds the consistent-hash ring over the healthy
-// replicas. Caller holds rt.mu.
+// replicas. With MaxGenerationLag set, a healthy mutable replica whose
+// applied mutation sequence trails the fleet's most advanced replica by
+// more than the allowance is held out of the read ring — it would serve
+// answers missing recent writes — but keeps its healthy enrollment so
+// write fan-outs still reach it and let it catch up. Caller holds rt.mu.
 func (rt *Router) rebuildRingLocked() {
+	var maxSeq int64
+	if rt.opts.MaxGenerationLag > 0 {
+		for _, rep := range rt.replicas {
+			if rep.state == stateHealthy && rep.hasDyn && rep.dynSeq > maxSeq {
+				maxSeq = rep.dynSeq
+			}
+		}
+	}
 	var healthy []*replica
 	for _, rep := range rt.replicas {
-		if rep.state == stateHealthy {
-			healthy = append(healthy, rep)
+		rep.lagExcluded = false
+		if rep.state != stateHealthy {
+			continue
 		}
+		if rt.opts.MaxGenerationLag > 0 && rep.hasDyn &&
+			maxSeq-rep.dynSeq > int64(rt.opts.MaxGenerationLag) {
+			rep.lagExcluded = true
+			rt.met.LagExclusions.Add(1)
+			continue
+		}
+		healthy = append(healthy, rep)
 	}
 	rt.ring = buildRing(healthy, rt.opts.Vnodes)
 }

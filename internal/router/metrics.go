@@ -18,9 +18,10 @@ import (
 type Metrics struct {
 	start time.Time
 
-	Queries atomic.Int64 // POST /v1/query requests accepted
-	Reaches atomic.Int64 // GET /v1/reach requests accepted
-	Plans   atomic.Int64 // GET /v1/plan requests proxied
+	Queries   atomic.Int64 // POST /v1/query requests accepted
+	Reaches   atomic.Int64 // GET /v1/reach requests accepted
+	Plans     atomic.Int64 // GET /v1/plan requests proxied
+	ArcWrites atomic.Int64 // POST /v1/arc batches accepted for fan-out
 
 	Errors      atomic.Int64 // requests failed at the router (after retries)
 	Unavailable atomic.Int64 // requests refused because no replica was healthy
@@ -29,9 +30,12 @@ type Metrics struct {
 	Hedges    atomic.Int64 // hedged second requests launched
 	HedgeWins atomic.Int64 // hedges that beat the primary
 
-	Excluded     atomic.Int64 // replicas marked out by consecutive health failures
-	Mismatched   atomic.Int64 // replicas refused enrollment on fingerprint mismatch
-	HealthChecks atomic.Int64 // health sweeps performed
+	WriteFailures atomic.Int64 // write batches not acknowledged by the whole fleet
+
+	Excluded      atomic.Int64 // replicas marked out by consecutive health failures
+	Mismatched    atomic.Int64 // replicas refused enrollment on fingerprint mismatch
+	LagExclusions atomic.Int64 // ring rebuilds that held a replica out for write lag
+	HealthChecks  atomic.Int64 // health sweeps performed
 
 	lat    *obsv.Histogram // end-to-end router latency, seconds
 	fanout *obsv.Histogram // shards contacted per scattered query
@@ -106,6 +110,8 @@ func (m *Metrics) Prometheus(health []replicaHealth) string {
 		float64(m.Reaches.Load()))
 	e.Sample("tcr_requests_total", []obsv.Label{{Name: "endpoint", Value: "plan"}},
 		float64(m.Plans.Load()))
+	e.Sample("tcr_requests_total", []obsv.Label{{Name: "endpoint", Value: "arc"}},
+		float64(m.ArcWrites.Load()))
 
 	e.Counter("tcr_errors_total", "Requests failed at the router after retries.",
 		float64(m.Errors.Load()))
@@ -123,6 +129,12 @@ func (m *Metrics) Prometheus(health []replicaHealth) string {
 	e.Counter("tcr_replicas_mismatched_total",
 		"Replicas refused enrollment because their dataset fingerprint differs from the fleet's.",
 		float64(m.Mismatched.Load()))
+	e.Counter("tcr_write_failures_total",
+		"Mutation batches not acknowledged by every enrolled replica.",
+		float64(m.WriteFailures.Load()))
+	e.Counter("tcr_lag_exclusions_total",
+		"Ring rebuilds that held a replica out of the read ring for trailing the fleet's write sequence.",
+		float64(m.LagExclusions.Load()))
 	e.Counter("tcr_health_checks_total", "Health sweeps performed across the fleet.",
 		float64(m.HealthChecks.Load()))
 

@@ -76,6 +76,12 @@ type Options struct {
 	// ExpectFingerprint pins the fleet's dataset fingerprint. Empty means
 	// the first healthy replica's fingerprint becomes the fleet's.
 	ExpectFingerprint string
+	// MaxGenerationLag, when positive, excludes a healthy mutable replica
+	// from the read ring while its applied mutation sequence trails the
+	// fleet's most advanced replica by more than this many batches. The
+	// replica keeps its enrollment — write fan-outs still reach it — so it
+	// rejoins the ring as soon as it catches up. 0 disables lag exclusion.
+	MaxGenerationLag int
 	// Client is the HTTP client for all replica traffic (default: a
 	// dedicated client; per-request contexts carry the deadlines).
 	Client *http.Client
@@ -120,6 +126,10 @@ type Router struct {
 	met    *Metrics
 	mux    *http.ServeMux
 
+	// writeMu serializes mutation fan-outs: batches must land on every
+	// replica in the same order or their logs (and index states) diverge.
+	writeMu sync.Mutex
+
 	mu       sync.RWMutex
 	replicas []*replica
 	ring     *ring  // healthy replicas only; nil while none are enrolled
@@ -156,6 +166,7 @@ func New(opts Options) (*Router, error) {
 		rt.replicas = append(rt.replicas, &replica{url: url})
 	}
 	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
+	rt.mux.HandleFunc("POST /v1/arc", rt.handleArc)
 	rt.mux.HandleFunc("GET /v1/reach", rt.handleReach)
 	rt.mux.HandleFunc("GET /v1/plan", rt.handlePlan)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -571,6 +582,9 @@ type replicaStatus struct {
 	Nodes               int    `json:"nodes,omitempty"`
 	Arcs                int    `json:"arcs,omitempty"`
 	IndexGeneration     int    `json:"index_generation,omitempty"`
+	Seq                 int64  `json:"seq,omitempty"`
+	Pending             int    `json:"pending,omitempty"`
+	Lagging             bool   `json:"lagging,omitempty"`
 	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
 	LastError           string `json:"last_error,omitempty"`
 }
@@ -598,6 +612,11 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		if rep.hasIndex {
 			st.IndexGeneration = rep.indexGen
+		}
+		if rep.hasDyn {
+			st.Seq = rep.dynSeq
+			st.Pending = rep.dynPending
+			st.Lagging = rep.lagExcluded
 		}
 		statuses = append(statuses, st)
 	}

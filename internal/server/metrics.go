@@ -26,10 +26,16 @@ type Metrics struct {
 	Reaches atomic.Int64 // GET /v1/reach requests accepted for processing
 	Plans   atomic.Int64 // GET /v1/plan requests
 
+	// ArcWrites counts POST /v1/arc batches accepted; MutationsApplied the
+	// individual ops within them that changed the graph.
+	ArcWrites        atomic.Int64
+	MutationsApplied atomic.Int64
+
 	// Outcome counters.
 	CacheHits       atomic.Int64 // answered straight from the result cache
 	CacheMisses     atomic.Int64 // executed by the engine
 	IndexHits       atomic.Int64 // /v1/reach answered by the reachability index
+	OverlayReads    atomic.Int64 // /v1/reach answered by the delta overlay mid-rebuild
 	EngineFallbacks atomic.Int64 // /v1/reach forced through the engine (index absent or stale)
 	Deduplicated    atomic.Int64 // coalesced onto an identical in-flight query
 	Rejected        atomic.Int64 // 429: admission queue full
@@ -105,21 +111,24 @@ type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	QPS           float64 `json:"qps"` // completed requests / uptime
 
-	Queries int64 `json:"queries"`
-	Reaches int64 `json:"reaches"`
-	Plans   int64 `json:"plans"`
+	Queries   int64 `json:"queries"`
+	Reaches   int64 `json:"reaches"`
+	Plans     int64 `json:"plans"`
+	ArcWrites int64 `json:"arc_writes,omitempty"`
 
-	CacheHits       int64   `json:"cache_hits"`
-	CacheMisses     int64   `json:"cache_misses"`
-	CacheHitRate    float64 `json:"cache_hit_rate"`
-	IndexHits       int64   `json:"index_hits"`
-	EngineFallbacks int64   `json:"engine_fallbacks"`
-	Deduplicated    int64   `json:"deduplicated"`
-	Rejected        int64   `json:"rejected"`
-	Timeouts        int64   `json:"timeouts"`
-	StorageFaults   int64   `json:"storage_faults"`
-	Errors          int64   `json:"errors"`
-	SlowQueries     int64   `json:"slow_queries"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	IndexHits        int64   `json:"index_hits"`
+	OverlayReads     int64   `json:"overlay_reads,omitempty"`
+	MutationsApplied int64   `json:"mutations_applied,omitempty"`
+	EngineFallbacks  int64   `json:"engine_fallbacks"`
+	Deduplicated     int64   `json:"deduplicated"`
+	Rejected         int64   `json:"rejected"`
+	Timeouts         int64   `json:"timeouts"`
+	StorageFaults    int64   `json:"storage_faults"`
+	Errors           int64   `json:"errors"`
+	SlowQueries      int64   `json:"slow_queries"`
 
 	PagesServed  int64 `json:"pages_served"`
 	TuplesServed int64 `json:"tuples_served"`
@@ -144,24 +153,27 @@ func (m *Metrics) Snapshot() Snapshot {
 	hits, misses := m.CacheHits.Load(), m.CacheMisses.Load()
 	completed := m.Queries.Load() + m.Reaches.Load() + m.Plans.Load()
 	s := Snapshot{
-		UptimeSeconds:   up,
-		Queries:         m.Queries.Load(),
-		Reaches:         m.Reaches.Load(),
-		Plans:           m.Plans.Load(),
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		IndexHits:       m.IndexHits.Load(),
-		EngineFallbacks: m.EngineFallbacks.Load(),
-		Deduplicated:    m.Deduplicated.Load(),
-		Rejected:        m.Rejected.Load(),
-		Timeouts:        m.Timeouts.Load(),
-		StorageFaults:   m.StorageFaults.Load(),
-		Errors:          m.Errors.Load(),
-		SlowQueries:     m.SlowQueries.Load(),
-		PagesServed:     m.PagesServed.Load(),
-		TuplesServed:    m.TuplesServed.Load(),
-		InFlight:        m.InFlight.Load(),
-		LatencyMS:       m.lat.quantiles(),
+		UptimeSeconds:    up,
+		Queries:          m.Queries.Load(),
+		Reaches:          m.Reaches.Load(),
+		Plans:            m.Plans.Load(),
+		ArcWrites:        m.ArcWrites.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		IndexHits:        m.IndexHits.Load(),
+		OverlayReads:     m.OverlayReads.Load(),
+		MutationsApplied: m.MutationsApplied.Load(),
+		EngineFallbacks:  m.EngineFallbacks.Load(),
+		Deduplicated:     m.Deduplicated.Load(),
+		Rejected:         m.Rejected.Load(),
+		Timeouts:         m.Timeouts.Load(),
+		StorageFaults:    m.StorageFaults.Load(),
+		Errors:           m.Errors.Load(),
+		SlowQueries:      m.SlowQueries.Load(),
+		PagesServed:      m.PagesServed.Load(),
+		TuplesServed:     m.TuplesServed.Load(),
+		InFlight:         m.InFlight.Load(),
+		LatencyMS:        m.lat.quantiles(),
 	}
 	if up > 0 {
 		s.QPS = float64(completed) / up
@@ -172,10 +184,25 @@ func (m *Metrics) Snapshot() Snapshot {
 	return s
 }
 
+// IndexState is the per-scrape snapshot of the serving reachability index,
+// passed into Prometheus by the caller because the index (static or
+// dynamic) belongs to the server, not to Metrics.
+type IndexState struct {
+	Present    bool  // an index is serving reads
+	Stale      bool  // reads are falling back (engine or overlay)
+	Generation int64 // static: in-place patch count; dynamic: rebuild generation
+	Dynamic    bool  // the fields below are meaningful
+	Seq        int64 // last mutation sequence number assigned
+	Pending    int   // log batches not yet folded into the sealed index
+	Mutations  int64 // individual ops applied since start
+	Merges     int64 // SCC components merged by cycle-creating inserts
+	Rebuilds   int64 // background generational rebuilds completed
+}
+
 // Prometheus renders the metric set in text exposition format. The queue
 // gauges come from the caller because the admission queue belongs to the
 // dispatcher, not to Metrics.
-func (m *Metrics) Prometheus(queueDepth, queueCap int) string {
+func (m *Metrics) Prometheus(queueDepth, queueCap int, ix IndexState) string {
 	e := obsv.NewExposition()
 	e.Gauge("tc_uptime_seconds", "Seconds since the server started.",
 		time.Since(m.start).Seconds())
@@ -187,6 +214,8 @@ func (m *Metrics) Prometheus(queueDepth, queueCap int) string {
 		float64(m.Reaches.Load()))
 	e.Sample("tc_requests_total", []obsv.Label{{Name: "endpoint", Value: "plan"}},
 		float64(m.Plans.Load()))
+	e.Sample("tc_requests_total", []obsv.Label{{Name: "endpoint", Value: "arc"}},
+		float64(m.ArcWrites.Load()))
 
 	e.Counter("tc_cache_hits_total", "Queries answered from the result cache.",
 		float64(m.CacheHits.Load()))
@@ -194,6 +223,9 @@ func (m *Metrics) Prometheus(queueDepth, queueCap int) string {
 		float64(m.CacheMisses.Load()))
 	e.Counter("tc_index_hits_total", "Reach requests answered by the reachability index.",
 		float64(m.IndexHits.Load()))
+	e.Counter("tc_overlay_reads_total",
+		"Reach requests answered by the delta overlay while a rebuild was in flight.",
+		float64(m.OverlayReads.Load()))
 	e.Counter("tc_reach_engine_fallback_total",
 		"Reach requests forced through the engine because the index was absent or stale.",
 		float64(m.EngineFallbacks.Load()))
@@ -220,6 +252,32 @@ func (m *Metrics) Prometheus(queueDepth, queueCap int) string {
 	e.Sample("tc_admission_queue_depth", nil, float64(queueDepth))
 	e.GaugeFamily("tc_admission_queue_capacity", "Capacity of the admission queue.")
 	e.Sample("tc_admission_queue_capacity", nil, float64(queueCap))
+
+	if ix.Present {
+		stale := 0.0
+		if ix.Stale {
+			stale = 1.0
+		}
+		e.Gauge("tc_index_stale",
+			"1 while reads bypass the sealed index (stale static index or rebuild in flight).",
+			stale)
+		e.Gauge("tc_index_generation", "Generation of the serving reachability index.",
+			float64(ix.Generation))
+	}
+	if ix.Dynamic {
+		e.Counter("tc_mutations_total", "Individual arc mutations applied to the live graph.",
+			float64(ix.Mutations))
+		e.Counter("tc_scc_merges_total",
+			"Strongly connected components merged in place by cycle-creating inserts.",
+			float64(ix.Merges))
+		e.Counter("tc_rebuilds_total", "Background generational index rebuilds completed.",
+			float64(ix.Rebuilds))
+		e.Gauge("tc_mutation_seq", "Last mutation sequence number assigned.",
+			float64(ix.Seq))
+		e.Gauge("tc_mutation_pending",
+			"Mutation log batches not yet folded into the sealed index generation.",
+			float64(ix.Pending))
+	}
 
 	e.HistogramFamily("tc_request_duration_seconds", "End-to-end request latency.")
 	e.Histogram("tc_request_duration_seconds", nil, m.latHist.Snapshot())

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"sort"
@@ -38,6 +39,7 @@ import (
 
 	"tcstudy/internal/buffer"
 	"tcstudy/internal/core"
+	"tcstudy/internal/dynamic"
 	"tcstudy/internal/graph"
 	"tcstudy/internal/index"
 	"tcstudy/internal/obsv"
@@ -68,6 +70,13 @@ type Options struct {
 	// path remains the fallback when the index is absent or stale. It must
 	// cover the same node space as the database.
 	Index *index.Index
+	// Dynamic, when set, turns the server into a read/write graph service:
+	// POST /v1/arc accepts mutation batches and GET /v1/reach is answered
+	// by the dynamic service (sealed index generation or, while a rebuild
+	// is in flight, the delta overlay) instead of Options.Index. The
+	// engine endpoints (/v1/query, /v1/plan) keep serving the frozen base
+	// relation. See docs/DYNAMIC.md.
+	Dynamic *dynamic.Service
 	// TraceBuffer, when positive, records the span tree of the most recent
 	// TraceBuffer requests in a ring served by GET /debug/traces. Zero
 	// disables request tracing entirely (no tracer is allocated and query
@@ -121,6 +130,7 @@ type Server struct {
 	disp   *dispatcher
 	cache  *resultCache
 	idx    *index.Index
+	dyn    *dynamic.Service
 	met    *Metrics
 	traces *traceRing
 	mux    *http.ServeMux
@@ -144,6 +154,7 @@ func New(db *core.Database, opts Options) *Server {
 		disp:   newDispatcher(db, opts.Workers, opts.QueueDepth),
 		cache:  newResultCache(opts.CacheEntries),
 		idx:    opts.Index,
+		dyn:    opts.Dynamic,
 		met:    NewMetrics(),
 		traces: newTraceRing(opts.TraceBuffer),
 		mux:    http.NewServeMux(),
@@ -158,6 +169,18 @@ func New(db *core.Database, opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if s.dyn != nil {
+		s.mux.HandleFunc("POST /v1/arc", s.handleArc)
+		s.dyn.SetOnRebuild(func(gen int64, replayed int, took time.Duration) {
+			s.traces.add(TraceEntry{
+				Time:      time.Now(),
+				Endpoint:  "rebuild",
+				ElapsedMS: float64(took) / float64(time.Millisecond),
+				Sources:   nil,
+				Algorithm: fmt.Sprintf("generation %d (+%d replayed)", gen, replayed),
+			})
+		})
+	}
 	return s
 }
 
@@ -215,6 +238,13 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	case isDeadline(err):
 		status = http.StatusGatewayTimeout
 	case pagedisk.IsTransient(err):
+		status = http.StatusServiceUnavailable
+		transient = true
+	case errors.Is(err, dynamic.ErrBacklog):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, dynamic.ErrFutureSeq):
+		// The replica simply has not applied the writes the client observed
+		// elsewhere yet; a retry lands after the log catches up.
 		status = http.StatusServiceUnavailable
 		transient = true
 	}
@@ -555,6 +585,8 @@ type reachResponse struct {
 	Reachable bool    `json:"reachable"`
 	Cached    bool    `json:"cached"`
 	IndexHit  bool    `json:"index_hit,omitempty"`
+	Overlay   bool    `json:"overlay,omitempty"` // answered by the delta overlay mid-rebuild
+	Seq       int64   `json:"seq,omitempty"`     // mutation sequence the answer reflects
 	ElapsedMS float64 `json:"elapsed_ms"`
 	PageIO    int64   `json:"page_io"` // 0 on a cache hit or index hit
 }
@@ -580,6 +612,46 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	if s.tracing() {
 		tr = obsv.NewTracer()
 		root = tr.Start("reach", obsv.KV("src", src), obsv.KV("dst", dst))
+	}
+	if s.dyn != nil {
+		if src < 1 || src > int32(s.dyn.N()) {
+			s.fail(w, badRequest("source node %d outside 1..%d", src, s.dyn.N()))
+			return
+		}
+		if dst < 1 || dst > int32(s.dyn.N()) {
+			s.fail(w, badRequest("destination node %d outside 1..%d", dst, s.dyn.N()))
+			return
+		}
+		observed := int64(atoiDefault(r.URL.Query().Get("seq"), 0))
+		probe := root.Child("dynamic-probe")
+		reachable, hit, seq, err := s.dyn.Reach(src, dst, observed)
+		if err != nil {
+			probe.Finish()
+			s.finishTrace(tr, root, TraceEntry{
+				Endpoint: "reach", Sources: []int32{src}, Error: err.Error(),
+			}, time.Since(start))
+			s.fail(w, err)
+			return
+		}
+		probe.Annotate(obsv.KV("reachable", reachable), obsv.KV("index_hit", hit))
+		probe.Finish()
+		if hit {
+			s.met.IndexHits.Add(1)
+		} else {
+			s.met.OverlayReads.Add(1)
+		}
+		s.met.Reaches.Add(1)
+		elapsed := time.Since(start)
+		s.met.ObserveLatency(elapsed)
+		s.finishTrace(tr, root, TraceEntry{
+			Endpoint: "reach", Sources: []int32{src}, IndexHit: hit,
+		}, elapsed)
+		writeJSON(w, http.StatusOK, reachResponse{
+			Src: src, Dst: dst, Reachable: reachable, IndexHit: hit,
+			Overlay: !hit, Seq: seq,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		})
+		return
 	}
 	if s.idx != nil && !s.idx.Stale() {
 		if src < 1 || src > int32(s.db.N()) {
@@ -656,6 +728,75 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reachResponse{
 		Src: src, Dst: dst, Reachable: reachable, Cached: hit,
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond), PageIO: io,
+	})
+}
+
+// arcResponse is the reply of POST /v1/arc: where the batch landed in the
+// mutation log and what it did to the index.
+type arcResponse struct {
+	Seq         int64   `json:"seq"`
+	Applied     int     `json:"applied"`
+	Noops       int     `json:"noops"`
+	Merged      int     `json:"merged_components,omitempty"`
+	Rebuilding  bool    `json:"rebuilding"`
+	Generation  int64   `json:"generation"`
+	Pending     int     `json:"pending"`
+	Fingerprint string  `json:"fingerprint"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// maxArcBody bounds a mutation-batch request body. Batches are also capped
+// in op count by the dynamic service; this guards the decoder itself.
+const maxArcBody = 1 << 20
+
+// handleArc applies one mutation batch — inserts and deletes of arcs —
+// against the dynamic graph service. The whole batch is validated before
+// any op applies, takes one sequence number, and the response carries the
+// post-batch fingerprint so a router can verify replica convergence.
+func (s *Server) handleArc(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.InFlight.Add(1)
+	defer s.met.InFlight.Add(-1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxArcBody))
+	if err != nil {
+		s.fail(w, badRequest("read mutation batch: %v", err))
+		return
+	}
+	batch, err := dynamic.ParseBatch(body, s.dyn.N(), s.dyn.MaxBatchOps())
+	if err != nil {
+		s.fail(w, badRequest("%v", err))
+		return
+	}
+	var tr *obsv.Tracer
+	var root *obsv.Span
+	if s.tracing() {
+		tr = obsv.NewTracer()
+		root = tr.Start("arc", obsv.KV("ops", len(batch.Ops)))
+	}
+	apply := root.Child("apply")
+	res, err := s.dyn.Apply(batch.Ops)
+	apply.Finish()
+	if err != nil {
+		s.finishTrace(tr, root, TraceEntry{Endpoint: "arc", Error: err.Error()}, time.Since(start))
+		s.fail(w, err)
+		return
+	}
+	s.met.ArcWrites.Add(1)
+	s.met.MutationsApplied.Add(int64(res.Applied))
+	elapsed := time.Since(start)
+	s.met.ObserveLatency(elapsed)
+	root.Annotate(obsv.KV("seq", res.Seq), obsv.KV("applied", res.Applied))
+	s.finishTrace(tr, root, TraceEntry{Endpoint: "arc"}, elapsed)
+	writeJSON(w, http.StatusOK, arcResponse{
+		Seq:         res.Seq,
+		Applied:     res.Applied,
+		Noops:       res.Noops,
+		Merged:      res.Merged,
+		Rebuilding:  res.Dirty,
+		Generation:  res.Generation,
+		Pending:     res.Pending,
+		Fingerprint: fmt.Sprintf("%016x", res.Fingerprint),
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
 	})
 }
 
@@ -741,7 +882,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"fingerprint":    fmt.Sprintf("%016x", s.fp),
 		"uptime_seconds": time.Since(s.met.start).Seconds(),
 	}
-	if s.idx != nil {
+	if s.dyn != nil {
+		// The dynamic service owns the live graph: its fingerprint and arc
+		// count supersede the frozen base relation's, so a routing tier
+		// comparing fleets sees the mutated dataset identity.
+		st := s.dyn.Stats()
+		cur := s.dyn.Index()
+		resp["arcs"] = st.NumArcs
+		resp["fingerprint"] = fmt.Sprintf("%016x", st.Fingerprint)
+		resp["index"] = map[string]any{
+			"nodes":      cur.N(),
+			"arcs":       cur.NumArcs(),
+			"stale":      st.Dirty || cur.Stale(),
+			"generation": st.Generation,
+		}
+		resp["dynamic"] = map[string]any{
+			"seq":        st.Seq,
+			"generation": st.Generation,
+			"pending":    st.Pending,
+			"rebuilding": st.Dirty,
+			"rebuilds":   st.Rebuilds,
+			"mutations":  st.Mutations,
+		}
+	} else if s.idx != nil {
 		resp["index"] = map[string]any{
 			"nodes":      s.idx.N(),
 			"arcs":       s.idx.NumArcs(),
@@ -761,7 +924,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(s.met.Prometheus(s.disp.QueueDepth(), s.disp.QueueCap())))
+	_, _ = w.Write([]byte(s.met.Prometheus(s.disp.QueueDepth(), s.disp.QueueCap(), s.indexState())))
+}
+
+// indexState summarizes the serving index for the metrics exposition: the
+// dynamic service when present (live generation, pending log, merge and
+// rebuild counters), the static index otherwise.
+func (s *Server) indexState() IndexState {
+	if s.dyn != nil {
+		st := s.dyn.Stats()
+		return IndexState{
+			Present:    true,
+			Dynamic:    true,
+			Stale:      st.Dirty || s.dyn.Index().Stale(),
+			Generation: st.Generation,
+			Seq:        st.Seq,
+			Pending:    st.Pending,
+			Mutations:  st.Mutations,
+			Merges:     st.Merges,
+			Rebuilds:   st.Rebuilds,
+		}
+	}
+	if s.idx != nil {
+		return IndexState{
+			Present:    true,
+			Stale:      s.idx.Stale(),
+			Generation: int64(s.idx.Generation()),
+		}
+	}
+	return IndexState{}
 }
 
 // handleTraces serves the recent-request trace ring, newest first. With
