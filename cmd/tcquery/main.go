@@ -49,7 +49,7 @@ import (
 
 func main() {
 	var (
-		alg        = flag.String("alg", "btc", "algorithm: btc, hyb, bj, srch, spn, jkb, jkb2, seminaive, warren, schmitz")
+		alg        = flag.String("alg", "btc", "algorithm: btc, hyb, bj, srch, spn, jkb, jkb2, seminaive, warren, schmitz, bitmatrix")
 		n          = flag.Int("n", 2000, "number of nodes (generated input)")
 		f          = flag.Int("f", 5, "average out-degree (generated input)")
 		l          = flag.Int("l", 200, "generation locality (generated input)")

@@ -2,7 +2,8 @@
 // closure engine.
 //
 // It runs the paper's seven candidate algorithms (BTC, HYB, BJ, SRCH, SPN,
-// JKB, JKB2) over randomized DAGs and buffer configurations, cross-checking
+// JKB, JKB2) plus the dense-core bit-matrix strategy (BITM) over
+// randomized DAGs and buffer configurations, cross-checking
 // every answer against an in-memory BFS oracle that shares no code with the
 // engine's storage or traversal machinery. Runs execute both clean and
 // under seed-driven fault schedules (internal/faultdisk); under faults,
@@ -34,10 +35,12 @@ import (
 	"tcstudy/internal/pagedisk"
 )
 
-// Candidates returns the paper's seven candidate algorithms, the set under
-// differential test.
+// Candidates returns the algorithms under differential test: the paper's
+// seven candidates plus the dense-core bit-matrix strategy, whose
+// threshold fallback and SCC condensation ride through every oracle,
+// fault and monotonicity run like any other algorithm.
 func Candidates() []core.Algorithm {
-	return []core.Algorithm{core.BTC, core.HYB, core.BJ, core.SRCH, core.SPN, core.JKB, core.JKB2}
+	return []core.Algorithm{core.BTC, core.HYB, core.BJ, core.SRCH, core.SPN, core.JKB, core.JKB2, core.BITM}
 }
 
 // Case is one differential scenario: a seeded random DAG, a source set and

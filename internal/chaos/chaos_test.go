@@ -54,7 +54,7 @@ func differentialGrid(short bool) []Case {
 	return cases
 }
 
-// TestDifferentialCleanGrid is the harness's core claim: all seven
+// TestDifferentialCleanGrid is the harness's core claim: all eight
 // candidate algorithms agree with the independent BFS oracle on every
 // graph in the grid (50 distinct seeded DAGs in full mode), and HYB at
 // ILIMIT=0 degenerates to BTC exactly.

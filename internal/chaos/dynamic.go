@@ -291,5 +291,22 @@ func (c MutationCase) drive(svc *dynamic.Service, oracle *dynOracle, between fun
 	if err := fresh.RebuildNow(); err != nil {
 		return fmt.Errorf("chaos: dynamic case {%s}: post-replay rebuild: %w", c, err)
 	}
-	return check(fresh, "post-replay rebuild")
+	if err := check(fresh, "post-replay rebuild"); err != nil {
+		return err
+	}
+
+	// Full-closure differential over the mutated final graph: the schedule
+	// typically leaves cycles (and occasionally self-loops) behind, so this
+	// drives the bit-matrix strategy's SCC condensation and membership
+	// expansion — or its cyclic fallback — against the BFS oracle on a
+	// shape no generated DAG covers.
+	final := svc.Arcs()
+	res, err := core.Run(core.NewDatabase(c.Nodes, final), core.BITM, core.Query{}, core.Config{BufferPages: 8})
+	if err != nil {
+		return fmt.Errorf("chaos: dynamic case {%s}: bitmatrix on final graph: %w", c, err)
+	}
+	if err := diff(res.Successors, Oracle(c.Nodes, final, nil)); err != nil {
+		return fmt.Errorf("chaos: dynamic case {%s}: bitmatrix disagrees with oracle on final graph: %w", c, err)
+	}
+	return nil
 }

@@ -124,7 +124,7 @@ func runOne(db *Database, r Request) Response {
 	}
 	var res *Result
 	var err error
-	if parallelEligible(r.Query, cfg) {
+	if parallelEligible(r.Alg, r.Query, cfg) {
 		res, err = runParallelSources(db, r.Alg, r.Query, cfg)
 	} else {
 		res, err = runOwned(db, r.Alg, r.Query, cfg)

@@ -37,12 +37,20 @@ const (
 	// in [12]): one Tarjan pass closes components as they pop, handling
 	// cyclic graphs natively.
 	SCHMITZ Algorithm = "schmitz"
+
+	// BITM is the dense-core bit-matrix strategy: the SCC condensation is
+	// closed by the in-memory word-parallel kernel (internal/bitmatrix)
+	// when it fits the size/density threshold, with answers expanded back
+	// through component membership; oversized condensations fall back to
+	// BTC (Schmitz when cyclic). Cyclic-native, like SCHMITZ.
+	BITM Algorithm = "bitmatrix"
 )
 
-// Algorithms lists every implemented algorithm, the paper's seven
-// candidates followed by the two related-work baselines.
+// Algorithms lists every implemented algorithm: the paper's seven
+// candidates, the two related-work baselines, and this repository's
+// additions (Schmitz and the dense-core bit-matrix strategy).
 func Algorithms() []Algorithm {
-	return []Algorithm{BTC, HYB, BJ, SRCH, SPN, JKB, JKB2, SEMI, WARREN, SCHMITZ}
+	return []Algorithm{BTC, HYB, BJ, SRCH, SPN, JKB, JKB2, SEMI, WARREN, SCHMITZ, BITM}
 }
 
 // Config carries the system parameters of an experiment (Section 5.1).
@@ -286,7 +294,7 @@ func Run(db *Database, alg Algorithm, q Query, cfg Config) (*Result, error) {
 	// run creates (successor lists, trees, sort runs) are released when it
 	// finishes — the answer has been materialized by then.
 	db.disk.ResetStats()
-	if parallelEligible(q, cfg) {
+	if parallelEligible(alg, q, cfg) {
 		return runParallelSources(db, alg, q, cfg)
 	}
 	return runOwned(db, alg, q, cfg)

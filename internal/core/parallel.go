@@ -19,9 +19,13 @@ import "tcstudy/internal/obsv"
 // parallelEligible reports whether the query and configuration ask for
 // source partitioning: an explicit Parallelism of at least 2 and a PTC
 // query with at least two sources to split. CTC (empty source set) always
-// runs serially.
-func parallelEligible(q Query, cfg Config) bool {
-	return cfg.Parallelism > 1 && len(q.Sources) > 1
+// runs serially. BITM is excluded: the bit-matrix kernel computes the full
+// closure of the condensed core once regardless of the source set —
+// partitioning sources would duplicate the whole matrix per worker — and
+// instead spends the same Parallelism budget inside the kernel's per-pivot
+// row updates.
+func parallelEligible(alg Algorithm, q Query, cfg Config) bool {
+	return alg != BITM && cfg.Parallelism > 1 && len(q.Sources) > 1
 }
 
 // partitionSources splits sources into at most workers contiguous,

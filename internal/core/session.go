@@ -125,6 +125,8 @@ func execute(db *Database, pool *buffer.Pool, listPol slist.ListPolicy, alg Algo
 		run = e.runWarren
 	case SCHMITZ:
 		run = e.runSchmitz
+	case BITM:
+		run = e.runBitMatrix
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
 	}

@@ -1,6 +1,10 @@
 package graph
 
-import "tcstudy/internal/bitset"
+import (
+	"fmt"
+
+	"tcstudy/internal/bitset"
+)
 
 // Condensation support. The paper restricts its study to acyclic graphs on
 // the standard ground (Section 1) that a cyclic graph's strongly connected
@@ -20,20 +24,17 @@ type Condensation struct {
 	Members [][]int32
 }
 
-// Condense computes the strongly connected components of g with Tarjan's
-// algorithm (iterative, so recursion depth is not a limit) and returns the
-// condensation. Components are numbered in reverse topological discovery
-// order and the returned DAG is acyclic by construction; self-arcs and
-// duplicate inter-component arcs are dropped.
-func (g *Graph) Condense() *Condensation {
-	n := g.n
+// tarjanComponents is the iterative Tarjan SCC core shared by Condense and
+// SCC: children(v) yields v's successors; comp[v] is v's component,
+// numbered 1..nComp in reverse topological discovery order (for an arc
+// u→v across components, comp[v] < comp[u]).
+func tarjanComponents(n int, children func(int32) []int32) (comp []int32, nComp int32) {
 	index := make([]int32, n+1) // 0 = unvisited; else discovery index+1
 	lowlink := make([]int32, n+1)
 	onStack := make([]bool, n+1)
-	comp := make([]int32, n+1)
+	comp = make([]int32, n+1)
 	var tarjanStack []int32
 	var next int32 = 1
-	var nComp int32
 
 	type frame struct {
 		node  int32
@@ -51,8 +52,8 @@ func (g *Graph) Condense() *Condensation {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			v := f.node
-			if f.child < len(g.adj[v]) {
-				c := g.adj[v][f.child]
+			if ch := children(v); f.child < len(ch) {
+				c := ch[f.child]
 				f.child++
 				if index[c] == 0 {
 					index[c] = next
@@ -93,6 +94,46 @@ func (g *Graph) Condense() *Condensation {
 			visit(v)
 		}
 	}
+	return comp, nComp
+}
+
+// SCC computes the strongly connected components over nodes 1..n directly
+// from an arc list, without materializing a Graph (no per-node sorting or
+// deduplication — duplicate arcs and self-arcs are harmless). comp[v] is
+// v's component, numbered 1..k in reverse topological order. Arcs
+// mentioning nodes outside 1..n cause a panic, as in New.
+func SCC(n int, arcs []Arc) (comp []int32, k int) {
+	// Compact CSR adjacency: one counting pass, one fill pass.
+	off := make([]int32, n+2)
+	for _, a := range arcs {
+		if a.From < 1 || a.From > int32(n) || a.To < 1 || a.To > int32(n) {
+			panic(fmt.Sprintf("graph: arc (%d,%d) outside 1..%d", a.From, a.To, n))
+		}
+		off[a.From+1]++
+	}
+	for v := 1; v <= n; v++ {
+		off[v+1] += off[v]
+	}
+	flat := make([]int32, len(arcs))
+	cur := make([]int32, n+1)
+	for _, a := range arcs {
+		flat[off[a.From]+cur[a.From]] = a.To
+		cur[a.From]++
+	}
+	c, nc := tarjanComponents(n, func(v int32) []int32 {
+		return flat[off[v]:off[v+1]]
+	})
+	return c, int(nc)
+}
+
+// Condense computes the strongly connected components of g with Tarjan's
+// algorithm (iterative, so recursion depth is not a limit) and returns the
+// condensation. Components are numbered in reverse topological discovery
+// order and the returned DAG is acyclic by construction; self-arcs and
+// duplicate inter-component arcs are dropped.
+func (g *Graph) Condense() *Condensation {
+	n := g.n
+	comp, nComp := tarjanComponents(n, g.Children)
 
 	members := make([][]int32, nComp+1)
 	for v := int32(1); v <= int32(n); v++ {

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"tcstudy/internal/bitmatrix"
 	"tcstudy/internal/core"
 	"tcstudy/internal/graph"
 )
@@ -34,6 +35,13 @@ type Profile struct {
 	// BFS sample; with it, closure sizes are estimated without computing
 	// any closure.
 	Reach float64
+	// CondNodes/CondArcs are the SCC condensation's node and distinct arc
+	// counts, and Density its |A|/n² — the statistics the bit-matrix
+	// kernel's selection threshold consumes. For an acyclic graph
+	// CondNodes == N.
+	CondNodes int
+	CondArcs  int
+	Density   float64
 }
 
 // BuildProfile computes the profile: one full DFS for the rectangle model
@@ -63,6 +71,26 @@ func BuildProfile(g *graph.Graph, samples int, seed int64) (Profile, error) {
 		total += int64(g.Reachable([]int32{src}).Count())
 	}
 	p.Reach = float64(total) / float64(samples)
+
+	// Condensation shape for the bit-matrix threshold: one Tarjan pass plus
+	// a distinct-arc count, the same statistics the engine derives before
+	// selecting the kernel.
+	arcs := g.Arcs()
+	comp, k := graph.SCC(p.N, arcs)
+	p.CondNodes = k
+	seen := make(map[int64]struct{}, len(arcs))
+	for _, a := range arcs {
+		cu, cv := comp[a.From], comp[a.To]
+		if cu == cv {
+			continue
+		}
+		key := int64(cu)<<32 | int64(cv)
+		if _, dup := seen[key]; !dup {
+			seen[key] = struct{}{}
+			p.CondArcs++
+		}
+	}
+	p.Density = bitmatrix.Density(p.CondNodes, p.CondArcs)
 	return p, nil
 }
 
@@ -124,6 +152,9 @@ func Estimates(p Profile, numSources, bufferPages int) []Estimate {
 		sc.seminaive(),
 		sc.warren(),
 	}
+	if bitmatrix.Fits(p.CondNodes, p.CondArcs) {
+		ests = append(ests, sc.bitm())
+	}
 	if numSources > 0 {
 		ests = append(ests, sc.srch())
 	}
@@ -146,6 +177,20 @@ func (sc scenario) btc(alg core.Algorithm, factor float64) Estimate {
 		Alg: alg,
 		IO:  factor * (restruct + compute),
 		Why: fmt.Sprintf("expands ~%.0f closure tuples over every magic node", sc.tc),
+	}
+}
+
+func (sc scenario) bitm() Estimate {
+	// The dense-core kernel's only page traffic is the relation scan that
+	// builds the condensation; the closure itself runs in memory. Offered
+	// only when the condensation passes the kernel's own threshold (the
+	// caller gates on bitmatrix.Fits), so the estimate has no regime where
+	// it must hedge.
+	return Estimate{
+		Alg: core.BITM,
+		IO:  float64(sc.p.Arcs)/tuplesPerProbePage + 1,
+		Why: fmt.Sprintf("in-memory kernel over the %d-node condensed core (density %.3f); one relation scan",
+			sc.p.CondNodes, sc.p.Density),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"tcstudy/internal/bitmatrix"
 	"tcstudy/internal/core"
 	"tcstudy/internal/graph"
 	"tcstudy/internal/graphgen"
@@ -72,7 +73,7 @@ func TestPlannerRankingMatchesMeasurement(t *testing.T) {
 		{"full-closure", 800, 5, 100, 0},      // BTC country
 	}
 	candidates := func(sel bool) []core.Algorithm {
-		algs := []core.Algorithm{core.BTC, core.BJ, core.SPN, core.JKB2, core.SEMI, core.WARREN}
+		algs := []core.Algorithm{core.BTC, core.BJ, core.SPN, core.JKB2, core.SEMI, core.WARREN, core.BITM}
 		if sel {
 			algs = append(algs, core.SRCH)
 		}
@@ -109,6 +110,61 @@ func TestPlannerRankingMatchesMeasurement(t *testing.T) {
 					choice.Alg, got, best, bestIO, detail)
 			}
 		})
+	}
+}
+
+// TestPlannerBitMatrixSelection: the bit-matrix estimate must appear
+// exactly when the condensation passes the kernel threshold — present and
+// winning on small cores, straddling the density gate on mid-sized ones,
+// absent above the hard cap.
+func TestPlannerBitMatrixSelection(t *testing.T) {
+	hasBITM := func(p Profile) bool {
+		for _, e := range Estimates(p, 0, 10) {
+			if e.Alg == core.BITM {
+				return true
+			}
+		}
+		return false
+	}
+
+	// A real small graph: condensation fits (n <= SmallN) and the single
+	// relation scan beats every list algorithm's full-closure estimate.
+	_, _, p := study(t, 300, 3, 50)
+	if p.CondNodes == 0 || p.CondArcs == 0 || p.Density <= 0 {
+		t.Fatalf("profile missing condensation stats: %+v", p)
+	}
+	if !hasBITM(p) {
+		t.Fatal("bit-matrix estimate missing for a 300-node core")
+	}
+	if got := Choose(p, 0, 10); got.Alg != core.BITM {
+		t.Fatalf("full closure on a small core chose %s, want bitmatrix", got.Alg)
+	}
+
+	// Mid-sized cores straddling the density gate: same node count, arc
+	// counts one notch above and below MinDensity.
+	n := 1000
+	atGate := int(bitmatrix.MinDensity * float64(n) * float64(n))
+	dense := Profile{N: n, Arcs: atGate, AvgDegree: float64(atGate) / float64(n),
+		H: 50, W: 400, Reach: 500, CondNodes: n, CondArcs: atGate,
+		Density: bitmatrix.Density(n, atGate)}
+	sparse := dense
+	sparse.Arcs = atGate - n
+	sparse.CondArcs = atGate - n
+	sparse.Density = bitmatrix.Density(n, sparse.CondArcs)
+	if !hasBITM(dense) {
+		t.Errorf("core at the density gate (%d nodes, %d arcs) not offered the kernel", n, atGate)
+	}
+	if hasBITM(sparse) {
+		t.Errorf("core below the density gate (%d nodes, %d arcs) offered the kernel", n, sparse.CondArcs)
+	}
+
+	// Above the hard cap the kernel is never offered, however dense.
+	huge := Profile{N: bitmatrix.MaxNodes + 1, CondNodes: bitmatrix.MaxNodes + 1,
+		CondArcs: (bitmatrix.MaxNodes + 1) * 100, H: 10, W: 800, Reach: 4000,
+		AvgDegree: 100, Arcs: (bitmatrix.MaxNodes + 1) * 100}
+	huge.Density = bitmatrix.Density(huge.CondNodes, huge.CondArcs)
+	if hasBITM(huge) {
+		t.Error("core above MaxNodes offered the kernel")
 	}
 }
 

@@ -815,6 +815,9 @@ type planProfile struct {
 	W         float64 `json:"w"`
 	AvgDegree float64 `json:"avg_degree"`
 	Reach     float64 `json:"reach"`
+	CondNodes int     `json:"cond_nodes"`
+	CondArcs  int     `json:"cond_arcs"`
+	Density   float64 `json:"cond_density"`
 }
 
 type planEstimate struct {
@@ -850,6 +853,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			Nodes: s.profile.N, Arcs: s.profile.Arcs,
 			H: s.profile.H, W: s.profile.W,
 			AvgDegree: s.profile.AvgDegree, Reach: s.profile.Reach,
+			CondNodes: s.profile.CondNodes, CondArcs: s.profile.CondArcs,
+			Density: s.profile.Density,
 		},
 		Sources: numSources,
 		BufferM: m,

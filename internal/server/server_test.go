@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -189,6 +190,48 @@ func TestPlanEndpoint(t *testing.T) {
 	}
 	if !hasSRCH {
 		t.Fatal("selective plan omits srch")
+	}
+}
+
+// TestPlanNamesBitMatrix: the 400-node test graph's condensation fits the
+// dense-core kernel threshold, so /v1/plan must surface the condensation
+// statistics and a bitmatrix estimate, and executing the strategy must
+// label its phase histograms with the new algorithm name.
+func TestPlanNamesBitMatrix(t *testing.T) {
+	_, ts, _ := newTestServer(t, 400, Options{})
+	var pr planResponse
+	if code := getJSON(t, ts.URL+"/v1/plan?sources=0", &pr); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if pr.Profile.CondNodes != 400 || pr.Profile.CondArcs == 0 || pr.Profile.Density <= 0 {
+		t.Fatalf("plan profile missing condensation stats: %+v", pr.Profile)
+	}
+	found := false
+	for _, e := range pr.Estimates {
+		if e.Algorithm == string(core.BITM) {
+			found = true
+			if !strings.Contains(e.Why, "kernel") {
+				t.Errorf("bitmatrix why = %q", e.Why)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("plan omits bitmatrix for a core that fits: %+v", pr.Estimates)
+	}
+
+	resp, qr := postQuery(t, ts.URL, map[string]any{"algorithm": "bitmatrix", "sources": []int32{1, 7}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bitmatrix query status %d", resp.StatusCode)
+	}
+	if len(qr.SuccessorCounts) != 2 {
+		t.Fatalf("bitmatrix query returned %d result rows", len(qr.SuccessorCounts))
+	}
+	text, _ := scrape(t, ts.URL)
+	for _, phase := range []string{"restructure", "compute"} {
+		want := `tc_engine_phase_seconds_count{algorithm="bitmatrix",phase="` + phase + `"}`
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %s", want)
+		}
 	}
 }
 

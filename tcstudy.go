@@ -68,9 +68,17 @@ const (
 	WARREN = core.WARREN
 	// SCHMITZ is Schmitz's SCC-based algorithm from the paper's related
 	// work: one Tarjan pass that closes components as they pop. It is the
-	// only algorithm that accepts cyclic graphs directly (a node inside a
-	// cycle reaches itself).
+	// only list-based algorithm that accepts cyclic graphs directly (a
+	// node inside a cycle reaches itself).
 	SCHMITZ = core.SCHMITZ
+	// BITM is the dense-core bit-matrix kernel: the input is condensed to
+	// its component DAG, and when the core fits the in-memory threshold
+	// (see the planner's bitmatrix estimate) its closure is computed with
+	// a cache-blocked, word-parallel Warren sweep — 64 reachability bits
+	// per machine word — then expanded back through SCC membership.
+	// Oversized cores fall back to BTC (or Schmitz when cyclic). Accepts
+	// cyclic graphs directly, like SCHMITZ.
+	BITM = core.BITM
 )
 
 // Algorithms lists every implemented algorithm.
@@ -177,11 +185,11 @@ func (db *DB) Weighted() bool { return db.inner.Weighted() }
 // Run executes one query with one algorithm and returns the successor sets
 // along with the full metric record. Each run starts from a cold buffer
 // pool, as in the paper's experiments. Cyclic graphs are accepted only by
-// SCHMITZ; the other algorithms need a DAG (see ClosureOfCyclic for the
-// condensation route).
+// SCHMITZ and BITM (both condense internally); the other algorithms need a
+// DAG (see ClosureOfCyclic for the condensation route).
 func (db *DB) Run(alg Algorithm, q Query, cfg Config) (*Result, error) {
-	if alg != SCHMITZ && !db.g.IsAcyclic() {
-		return nil, fmt.Errorf("tcstudy: graph is cyclic; use SCHMITZ or condense it first (see ClosureOfCyclic)")
+	if alg != SCHMITZ && alg != BITM && !db.g.IsAcyclic() {
+		return nil, fmt.Errorf("tcstudy: graph is cyclic; use SCHMITZ, BITM, or condense it first (see ClosureOfCyclic)")
 	}
 	return core.Run(db.inner, alg, q, cfg)
 }
