@@ -137,6 +137,7 @@ func main() {
 	stats.report(*duration, dropped.Load())
 	for _, base := range endpoints {
 		printServerMetrics(client, base)
+		printServerIndex(client, base)
 	}
 	if stats.errors.Load() > 0 {
 		os.Exit(1)
@@ -445,6 +446,32 @@ func printServerMetrics(c *http.Client, addr string) {
 	}
 	fmt.Printf("server        qps %.1f, cache %d hits / %d misses (%.0f%% hit rate), dedup %d, pages served %d\n",
 		m.QPS, m.CacheHits, m.CacheMisses, 100*m.CacheHitRate, m.Deduplicated, m.PagesServed)
+}
+
+// printServerIndex reports which reachability index served the run —
+// builder name, chain count and generation from /healthz — so fleet
+// experiments can confirm every replica ran the intended decomposition.
+// Servers without a loaded index (or routers that do not expose one) are
+// silently skipped.
+func printServerIndex(c *http.Client, addr string) {
+	resp, err := c.Get(addr + "/healthz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Index *struct {
+			Generation int64  `json:"generation"`
+			Chains     int    `json:"chains"`
+			Builder    string `json:"builder"`
+			Stale      bool   `json:"stale"`
+		} `json:"index"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || h.Index == nil {
+		return
+	}
+	fmt.Printf("index         %s decomposition, k=%d chains, generation %d, stale %t\n",
+		h.Index.Builder, h.Index.Chains, h.Index.Generation, h.Index.Stale)
 }
 
 func fatal(err error) {

@@ -117,7 +117,8 @@ func main() {
 		if idx.Stale() {
 			log.Printf("warning: index %s is stale; /v1/reach will use the engine path", *indexFile)
 		} else {
-			log.Printf("loaded index %s: /v1/reach served in O(1) with zero page I/O", *indexFile)
+			log.Printf("loaded index %s (%s decomposition, k=%d chains): /v1/reach served in O(1) with zero page I/O",
+				*indexFile, idx.Builder(), idx.Chains())
 		}
 	}
 

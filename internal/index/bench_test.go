@@ -1,0 +1,129 @@
+package index
+
+import (
+	"testing"
+
+	"tcstudy/internal/graph"
+)
+
+// Decomposition-quality benchmarks: greedy vs Kritikakis–Tollis on the
+// paper's rectangle-model shapes. "wide" is a 20-level grid of 250 nodes
+// per level (W = |G|/H ≈ 475 ≫ H ≈ 10, the regime where greedy k
+// balloons); "deep" is its transpose. Build benchmarks report chains,
+// label entries and the exact saved-file size alongside wall time; probe
+// benchmarks measure the serving cost the chain count drives.
+
+type benchShape struct {
+	name       string
+	rows, cols int
+}
+
+var benchShapes = []benchShape{
+	{"wide", 20, 250},
+	{"deep", 250, 20},
+}
+
+func benchGraph(b *testing.B, s benchShape) *graph.Graph {
+	b.Helper()
+	n, arcs := gridArcs(s.rows, s.cols, 3, 42)
+	return graph.New(n, arcs)
+}
+
+func reportShape(b *testing.B, x *Index) {
+	st := x.ComputeStats()
+	b.ReportMetric(float64(st.Chains), "chains")
+	b.ReportMetric(float64(st.LabelEntries), "label-entries")
+	b.ReportMetric(float64(st.FileBytes), "file-bytes")
+}
+
+func BenchmarkDecompositionBuild(b *testing.B) {
+	for _, s := range benchShapes {
+		g := benchGraph(b, s)
+		b.Run(s.name+"/greedy", func(b *testing.B) {
+			var x *Index
+			for i := 0; i < b.N; i++ {
+				x, _ = Build(g)
+			}
+			reportShape(b, x)
+		})
+		b.Run(s.name+"/kt-serial", func(b *testing.B) {
+			var x *Index
+			for i := 0; i < b.N; i++ {
+				x, _ = BuildKT(g, KTOptions{Parallelism: 1})
+			}
+			reportShape(b, x)
+		})
+		b.Run(s.name+"/kt-par4", func(b *testing.B) {
+			var x *Index
+			for i := 0; i < b.N; i++ {
+				x, _ = BuildKT(g, KTOptions{Parallelism: 4})
+			}
+			reportShape(b, x)
+		})
+	}
+}
+
+// benchPairs yields a fixed pseudo-random probe sequence so both builders
+// answer the identical query stream.
+func benchPairs(n int) [][2]int32 {
+	rng := uint64(12345)
+	pairs := make([][2]int32, 1024)
+	for i := range pairs {
+		rng += 0x9e3779b97f4a7c15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		pairs[i] = [2]int32{int32(z%uint64(n)) + 1, int32((z>>32)%uint64(n)) + 1}
+	}
+	return pairs
+}
+
+func BenchmarkDecompositionReach(b *testing.B) {
+	for _, s := range benchShapes {
+		g := benchGraph(b, s)
+		pairs := benchPairs(g.N())
+		for _, builder := range []struct {
+			name  string
+			build func() (*Index, error)
+		}{
+			{BuilderGreedy, func() (*Index, error) { return Build(g) }},
+			{BuilderKT, func() (*Index, error) { return BuildKT(g, KTOptions{Parallelism: 4}) }},
+		} {
+			x, err := builder.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(s.name+"/"+builder.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					x.Reach(p[0], p[1])
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDecompositionSuccessors(b *testing.B) {
+	for _, s := range benchShapes {
+		g := benchGraph(b, s)
+		pairs := benchPairs(g.N())
+		for _, builder := range []struct {
+			name  string
+			build func() (*Index, error)
+		}{
+			{BuilderGreedy, func() (*Index, error) { return Build(g) }},
+			{BuilderKT, func() (*Index, error) { return BuildKT(g, KTOptions{Parallelism: 4}) }},
+		} {
+			x, err := builder.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(s.name+"/"+builder.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					x.Successors(pairs[i%len(pairs)][0])
+				}
+			})
+		}
+	}
+}

@@ -31,6 +31,12 @@ const (
 	fileVersion = 1
 
 	flagStale = 1 << 0
+	// flagKT records that the chains came from the Kritikakis–Tollis
+	// builder (BuildKT). Readers that predate the flag ignore unknown
+	// bits, and the chain sections are structurally identical either way,
+	// so this is not a format bump — the same version 1 loader accepts
+	// both decompositions.
+	flagKT = 1 << 1
 )
 
 // Save writes the index to w in the versioned binary format.
@@ -48,6 +54,9 @@ func (x *Index) Save(w io.Writer) error {
 	var flags uint32
 	if x.stale {
 		flags |= flagStale
+	}
+	if x.builder == BuilderKT {
+		flags |= flagKT
 	}
 	buf = le32(buf, flags)
 	for v := 1; v <= x.n; v++ {
@@ -92,6 +101,22 @@ func (x *Index) SaveFile(path string) error {
 
 func le32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
 
+// savedBytesLocked computes the exact size Save would write, mirroring its
+// layout: magic + version + header, the comp/chain/position columns, the
+// self-loop bitset, every label, and the CRC trailer. Callers hold mu.
+func (x *Index) savedBytesLocked() int64 {
+	k := len(x.labels) - 1
+	size := int64(4 + 4 + 5*4) // magic, version, header words
+	size += int64(4 * x.n)     // comp column
+	size += int64(8 * k)       // chainID + chainPos columns
+	size += 4                  // self-loop word count
+	size += int64(8 * len(x.selfLoop.Words()))
+	for d := 1; d <= k; d++ {
+		size += int64(4 + 8*len(x.labels[d].chains))
+	}
+	return size + 4 // CRC trailer
+}
+
 // Load reads an index in the format written by Save, verifying the magic,
 // version, checksum and the structural invariants of every section.
 func Load(r io.Reader) (*Index, error) {
@@ -118,6 +143,10 @@ func Load(r io.Reader) (*Index, error) {
 	numChains := int(c.u32())
 	numArcs := int(c.u32())
 	flags := c.u32()
+	builder := BuilderGreedy
+	if flags&flagKT != 0 {
+		builder = BuilderKT
+	}
 	if c.err == nil && (n < 0 || k < 0 || k > n || numChains > k || numArcs < 0) {
 		return nil, fmt.Errorf("index: load: inconsistent header (n=%d K=%d chains=%d)", n, k, numChains)
 	}
@@ -132,6 +161,7 @@ func Load(r io.Reader) (*Index, error) {
 		n:         n,
 		numArcs:   numArcs,
 		numChains: numChains,
+		builder:   builder,
 		stale:     flags&flagStale != 0,
 		comp:      make([]int32, n+1),
 		chainID:   make([]int32, k+1),
@@ -239,6 +269,7 @@ func Load(r io.Reader) (*Index, error) {
 	for v := int32(1); v <= int32(n); v++ {
 		x.members[x.comp[v]] = append(x.members[x.comp[v]], v)
 	}
+	x.recomputeSucc()
 	return x, nil
 }
 

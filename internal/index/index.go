@@ -42,14 +42,36 @@ type label struct {
 }
 
 // lookup returns the minimum reachable position in chain c, or -1 when the
-// label does not reach chain c at all.
+// label does not reach chain c at all. The search is hand-rolled: this is
+// the hottest loop of every positive Reach probe, and a sort.Search closure
+// call per halving step costs more than the comparison it wraps.
 func (l *label) lookup(c int32) int32 {
 	if l.set == nil || !l.set.Has(c) {
 		return -1
 	}
-	i := sort.Search(len(l.chains), func(i int) bool { return l.chains[i] >= c })
-	return l.minPos[i]
+	lo, hi := 0, len(l.chains)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.chains[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return l.minPos[lo]
 }
+
+// Builder names for the two chain-decomposition strategies. The name is
+// persisted in the TCIX flags word, so a loaded index still reports which
+// builder produced it.
+const (
+	// BuilderGreedy is the original topological-sweep decomposition:
+	// chains are arc-paths extended whenever a parent is a chain tail.
+	BuilderGreedy = "greedy"
+	// BuilderKT is the Kritikakis–Tollis decomposition (BuildKT): path
+	// extraction plus reachability-gated chain concatenation.
+	BuilderKT = "kt"
+)
 
 // Index is a reachability index over a directed graph on nodes 1..n. It is
 // safe for concurrent use: queries take a read lock, InsertArc a write
@@ -59,6 +81,7 @@ type Index struct {
 
 	n       int     // original node count
 	numArcs int     // arcs in the indexed graph (updated by InsertArc)
+	builder string  // decomposition that produced the chains
 	comp    []int32 // node -> condensation component, len n+1
 	members [][]int32
 
@@ -68,6 +91,8 @@ type Index struct {
 	chains    [][]int32 // chain -> DAG nodes in path order
 
 	labels   []label     // per DAG node, len K+1
+	succ     []int32     // per DAG node, exact successor count (see recomputeSucc)
+	pred     []int32     // per DAG node, live predecessor count (see recomputeSucc)
 	selfLoop *bitset.Set // original nodes with a self-arc
 	stale    bool
 	gen      int // in-place inserts folded since build/load (not persisted)
@@ -89,6 +114,7 @@ func Build(g *graph.Graph) (*Index, error) {
 	x := &Index{
 		n:        n,
 		numArcs:  g.NumArcs(),
+		builder:  BuilderGreedy,
 		comp:     cond.Component,
 		members:  cond.Members,
 		chainID:  make([]int32, k+1),
@@ -159,6 +185,7 @@ func Build(g *graph.Graph) (*Index, error) {
 		}
 		touched = touched[:0]
 	}
+	x.recomputeSucc()
 	return x, nil
 }
 
@@ -214,6 +241,18 @@ func hasArc(children []int32, v int32) bool {
 // N reports the number of nodes in the indexed graph.
 func (x *Index) N() int { return x.n }
 
+// Builder reports which decomposition produced the chains (BuilderGreedy
+// or BuilderKT); the name round-trips through Save/Load.
+func (x *Index) Builder() string { return x.builder }
+
+// Chains reports the chain count k — the width of every label bitset and
+// the decomposition-quality number the KT builder minimizes.
+func (x *Index) Chains() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.numChains
+}
+
 // NumArcs reports the number of arcs in the indexed graph, counting arcs
 // accepted by InsertArc since the build.
 func (x *Index) NumArcs() int {
@@ -267,11 +306,93 @@ func (x *Index) reachLocked(src, dst int32) bool {
 }
 
 // dagReach reports whether component a reaches component b (a != b) via a
-// path of length >= 1 in the condensation DAG: O(1) on the chain bitset
-// for a negative answer, O(log k) on the label otherwise.
+// path of length >= 1 in the condensation DAG. Two count gates reject
+// most negatives in O(1) before any label work:
+//
+//   - succ: a path a ~> b puts b and all of b's successors among a's, so
+//     succ[a] < succ[b] proves unreachability;
+//   - pred: it equally puts a and all of a's predecessors among b's, so
+//     pred[b] < pred[a] proves unreachability.
+//
+// (Both comparisons are strict-less, not <=: after a cycle collapse the
+// merged representative's label carries its own chain point, so an
+// ancestor's succ count — and the representative's own pred count — can
+// tie.) The pair filters exactly the probes the chain bitset cannot —
+// b's chain touched by a's label, but only past b (common under merged KT
+// chains, where one chain spans many regions): such an a sits late in the
+// order, with few predecessors of its own, while an early b has fewer
+// successors than it. Survivors pay the bitset probe and an O(log label)
+// search.
 func (x *Index) dagReach(a, b int32) bool {
+	if x.succ[a] < x.succ[b] || x.pred[b] < x.pred[a] {
+		return false
+	}
+	return x.dagReachLabel(a, b)
+}
+
+// dagReachLabel is dagReach without the successor-count gate: the label
+// probe alone. In-place mutation sweeps (foldAcyclicLocked,
+// mergeComponentsLocked) must use it, because they interleave label
+// updates with membership probes and the counts are only recomputed once
+// the sweep settles.
+func (x *Index) dagReachLabel(a, b int32) bool {
 	p := x.labels[a].lookup(x.chainID[b])
 	return p >= 0 && p <= x.chainPos[b]
+}
+
+// succCount derives a component's exact DAG successor count from its
+// label: positions minPos..len-1 of every reached chain, each DAG slot
+// counted once because chains partition the slots. Nothing is persisted —
+// Load re-derives the counts the same way.
+func (x *Index) succCount(d int32) int32 {
+	var s int32
+	l := &x.labels[d]
+	for j, c := range l.chains {
+		s += int32(len(x.chains[c])) - l.minPos[j]
+	}
+	return s
+}
+
+// recomputeSucc refreshes every component's successor and predecessor
+// counts after the labels settle (build, load, or a mutation sweep). The
+// pred pass inverts the labels with one per-chain difference array: entry
+// (c, m) of a live label marks positions m.. of chain c reached, so a
+// prefix sum over the deltas yields, per slot, how many live components
+// reach it. Only live labels count — the fold sweeps stop maintaining a
+// label once its component is absorbed, so a dead label goes stale and
+// must not vote.
+func (x *Index) recomputeSucc() {
+	if cap(x.succ) < len(x.labels) {
+		x.succ = make([]int32, len(x.labels))
+	}
+	x.succ = x.succ[:len(x.labels)]
+	for d := 1; d < len(x.labels); d++ {
+		x.succ[d] = x.succCount(int32(d))
+	}
+	if cap(x.pred) < len(x.labels) {
+		x.pred = make([]int32, len(x.labels))
+	}
+	x.pred = x.pred[:len(x.labels)]
+	delta := make([][]int32, x.numChains)
+	for c := range delta {
+		delta[c] = make([]int32, len(x.chains[c]))
+	}
+	for d := 1; d < len(x.labels); d++ {
+		if !x.live(int32(d)) {
+			continue
+		}
+		l := &x.labels[d]
+		for j, c := range l.chains {
+			delta[c][l.minPos[j]]++
+		}
+	}
+	for c, dl := range delta {
+		var sum int32
+		for p, inc := range dl {
+			sum += inc
+			x.pred[x.chains[c][p]] = sum
+		}
+	}
 }
 
 // live reports whether DAG node d is still a component of its own. A node
@@ -325,8 +446,14 @@ type Stats struct {
 	Arcs         int     // arcs in the indexed graph
 	Components   int     // condensation DAG nodes
 	Chains       int     // chain count k (label width)
+	Builder      string  // decomposition that produced the chains
 	LabelEntries int     // total (chain, minPos) pairs across all labels
 	AvgLabel     float64 // label entries per DAG node
+	P50Label     int     // median label entries per component
+	P95Label     int     // 95th-percentile label entries per component
+	MaxLabel     int     // largest single label
+	FileBytes    int64   // exact serialized size Save would write
+	BytesPerNode float64 // FileBytes / Nodes (0 for an empty graph)
 	ChainOverlap float64 // fraction of sampled label pairs whose chain sets intersect
 	Stale        bool
 	Generation   int // in-place mutations folded since build/load
@@ -336,7 +463,10 @@ type Stats struct {
 // ComputeStats derives the summary. ChainOverlap samples up to 64
 // components and measures, with bitset.Intersects, how often two labels
 // share at least one chain — a proxy for how much the chain compression is
-// actually shared across the graph.
+// actually shared across the graph. Every derived ratio is guarded against
+// the degenerate shapes Load accepts (an empty graph, a k == n index of
+// one-node chains whose labels are all empty): the ratios report 0 rather
+// than dividing by zero.
 func (x *Index) ComputeStats() Stats {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
@@ -346,17 +476,28 @@ func (x *Index) ComputeStats() Stats {
 		Arcs:       x.numArcs,
 		Components: k,
 		Chains:     x.numChains,
+		Builder:    x.builder,
 		Stale:      x.stale,
 		Generation: x.gen,
 	}
+	sizes := make([]int, 0, k)
 	for d := 1; d <= k; d++ {
 		st.LabelEntries += len(x.labels[d].chains)
+		sizes = append(sizes, len(x.labels[d].chains))
 		if !x.live(int32(d)) {
 			st.Merged++
 		}
 	}
 	if k > 0 {
 		st.AvgLabel = float64(st.LabelEntries) / float64(k)
+		sort.Ints(sizes)
+		st.P50Label = sizes[50*(len(sizes)-1)/100]
+		st.P95Label = sizes[95*(len(sizes)-1)/100]
+		st.MaxLabel = sizes[len(sizes)-1]
+	}
+	st.FileBytes = x.savedBytesLocked()
+	if x.n > 0 {
+		st.BytesPerNode = float64(st.FileBytes) / float64(x.n)
 	}
 	sample := k
 	if sample > 64 {

@@ -77,10 +77,11 @@ func (x *Index) foldAcyclicLocked(cu, cv int32) {
 		if !x.live(d) {
 			continue
 		}
-		if d == cu || x.dagReach(d, cu) {
+		if d == cu || x.dagReachLabel(d, cu) {
 			x.mergeLabel(d, &cont)
 		}
 	}
+	x.recomputeSucc()
 }
 
 // mergeLabel folds contribution cont into component d's label: a sorted

@@ -114,10 +114,11 @@ func (x *Index) mergeComponentsLocked(cu int32, cycle []int32) {
 		if d == cu || !x.live(d) {
 			continue
 		}
-		if x.dagReach(d, cu) {
+		if x.dagReachLabel(d, cu) {
 			x.mergeLabel(d, &cont)
 		}
 	}
+	x.recomputeSucc()
 }
 
 // DeleteSelfLoop removes a self-arc (u,u) from the index in place. A

@@ -13,10 +13,12 @@ type healthzBody struct {
 	Arcs        int    `json:"arcs"`
 	Fingerprint string `json:"fingerprint"`
 	Index       *struct {
-		Nodes      int  `json:"nodes"`
-		Arcs       int  `json:"arcs"`
-		Stale      bool `json:"stale"`
-		Generation int  `json:"generation"`
+		Nodes      int    `json:"nodes"`
+		Arcs       int    `json:"arcs"`
+		Stale      bool   `json:"stale"`
+		Generation int    `json:"generation"`
+		Chains     int    `json:"chains"`
+		Builder    string `json:"builder"`
 	} `json:"index"`
 }
 
@@ -62,5 +64,12 @@ func TestHealthzReportsIndex(t *testing.T) {
 	}
 	if h.Index.Generation != 0 {
 		t.Fatalf("fresh index at generation %d, want 0", h.Index.Generation)
+	}
+	if h.Index.Builder != idx.Builder() || h.Index.Chains != idx.Chains() {
+		t.Fatalf("healthz reports builder=%q chains=%d, index has builder=%q chains=%d",
+			h.Index.Builder, h.Index.Chains, idx.Builder(), idx.Chains())
+	}
+	if h.Index.Builder == "" || h.Index.Chains <= 0 {
+		t.Fatalf("healthz index identity empty: %+v", h.Index)
 	}
 }

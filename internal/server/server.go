@@ -900,6 +900,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"arcs":       cur.NumArcs(),
 			"stale":      st.Dirty || cur.Stale(),
 			"generation": st.Generation,
+			"chains":     cur.Chains(),
+			"builder":    cur.Builder(),
 		}
 		resp["dynamic"] = map[string]any{
 			"seq":        st.Seq,
@@ -915,6 +917,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"arcs":       s.idx.NumArcs(),
 			"stale":      s.idx.Stale(),
 			"generation": s.idx.Generation(),
+			"chains":     s.idx.Chains(),
+			"builder":    s.idx.Builder(),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
