@@ -17,11 +17,20 @@
 // collector, so 429 backlog rejections count as admission control, not
 // errors.
 //
-// Examples (against tcserve -n 2000):
+// Against a multi-graph server (tcserve -graphs, or a tcrouter fronting
+// one), -graph names the tenants to drive: requests are spread across the
+// listed graphs, each graph's queries are generated from its own node
+// space (read from the healthz graphs block), and the run ends with one
+// summary line per graph so per-tenant fairness and cache behaviour are
+// visible at a glance. Mutations are single-graph only server-side, so
+// -graph and -writemix conflict.
+//
+// Examples (against tcserve -n 2000, or tcserve -graphs a=dir1,b=dir2):
 //
 //	tcload -addr http://localhost:8080 -duration 10s -qps 200 -reach 0.5
 //	tcload -addr http://localhost:8080 -reach 1 -reachdist zipf -qps 500
 //	tcload -addr http://localhost:8080 -writemix 0.1 -writeops 4 -qps 100
+//	tcload -addr http://localhost:8080 -graph a,b -qps 200
 //
 // Rejections (HTTP 429, admission control working as intended) are counted
 // separately from errors. The exit status is nonzero if any request failed
@@ -67,26 +76,28 @@ func main() {
 		writeMix   = flag.Float64("writemix", 0, "fraction of requests that are POST /v1/arc mutation batches (requires a mutable server)")
 		writeOps   = flag.Int("writeops", 4, "insert/delete ops per mutation batch")
 		deletePct  = flag.Int("deletepct", 30, "percentage of mutation ops that are deletes")
+		graphList  = flag.String("graph", "", "comma-separated graph names to drive on a multi-graph server (empty = the default graph)")
 	)
 	flag.Parse()
 	retryPolicy = httpretry.Policy{Max: *retries, Backoff: *backoff}
 
 	endpoints := parseTargets(*targets, *addr)
 	client := &http.Client{Timeout: 60 * time.Second}
-	nodes, err := checkTargets(client, endpoints)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("tcload: %d target(s), %d nodes; driving %.0f qps for %s (reach mix %.0f%%)\n",
-		len(endpoints), nodes, *qps, *duration, 100**reachFrac)
-	next := newPicker(endpoints)
-
-	shapes := buildShapes(*algs, nodes, *maxSources, *sourcePool, *m, *seed)
 	rng := rand.New(rand.NewSource(*seed))
-	pickReach, err := reachPicker(*reachDist, *reachSpan, nodes, rng)
+	tenants, err := buildTenants(client, endpoints, *graphList, tenantParams{
+		algs: *algs, maxSources: *maxSources, pool: *sourcePool, m: *m, seed: *seed,
+		reachDist: *reachDist, reachSpan: *reachSpan, rng: rng,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	if *writeMix > 0 && tenants[0].name != "" {
+		fatal(fmt.Errorf("-writemix drives POST /v1/arc, which is single-graph only: drop -graph or -writemix"))
+	}
+	nodes := tenants[0].nodes
+	fmt.Printf("tcload: %d target(s), %s; driving %.0f qps for %s (reach mix %.0f%%)\n",
+		len(endpoints), describeTenants(tenants), *qps, *duration, 100**reachFrac)
+	next := newPicker(endpoints)
 
 	var (
 		wg      sync.WaitGroup
@@ -107,18 +118,25 @@ func main() {
 		}
 		var op func()
 		base := next()
+		tr := tenants[rng.Intn(len(tenants))]
+		record := func(o outcome) {
+			stats.observe(o)
+			if tr.stats != nil {
+				tr.stats.observe(o)
+			}
+		}
 		if *writeMix > 0 && rng.Float64() < *writeMix {
 			body := makeArcBatch(rng, nodes, *writeOps, *deletePct)
 			url := base + "/v1/arc"
-			op = func() { stats.observe(doPost(client, url, body)) }
+			op = func() { record(doPost(client, url, body)) }
 		} else if rng.Float64() < *reachFrac {
-			src, dst := pickReach()
-			url := fmt.Sprintf("%s/v1/reach?src=%d&dst=%d", base, src, dst)
-			op = func() { stats.observe(doGet(client, url)) }
+			src, dst := tr.pickReach()
+			url := fmt.Sprintf("%s/v1/reach?src=%d&dst=%d%s", base, src, dst, tr.reachParam)
+			op = func() { record(doGet(client, url)) }
 		} else {
-			body := shapes[rng.Intn(len(shapes))]
+			body := tr.shapes[rng.Intn(len(tr.shapes))]
 			url := base + "/v1/query"
-			op = func() { stats.observe(doPost(client, url, body)) }
+			op = func() { record(doPost(client, url, body)) }
 		}
 		select {
 		case sem <- struct{}{}:
@@ -135,6 +153,11 @@ func main() {
 	wg.Wait()
 
 	stats.report(*duration, dropped.Load())
+	for _, tr := range tenants {
+		if tr.stats != nil {
+			tr.stats.summary(tr.name)
+		}
+	}
 	for _, base := range endpoints {
 		printServerMetrics(client, base)
 		printServerIndex(client, base)
@@ -180,6 +203,127 @@ func checkTargets(c *http.Client, endpoints []string) (int, error) {
 		}
 	}
 	return nodes, nil
+}
+
+// tenantRun is one graph's slice of the workload: its pre-built query
+// shapes, its reach generator over its own node space, and (for named
+// graphs) its own collector for the end-of-run per-tenant summary. A
+// single-graph run is one tenantRun with an empty name and no collector —
+// the global collector already tells the whole story.
+type tenantRun struct {
+	name       string
+	nodes      int
+	reachParam string // "&graph=<name>" or ""
+	shapes     [][]byte
+	pickReach  func() (int32, int32)
+	stats      *collector
+}
+
+// tenantParams carries the workload knobs buildTenants needs per graph.
+type tenantParams struct {
+	algs                string
+	maxSources, pool, m int
+	seed                int64
+	reachDist           string
+	reachSpan           int
+	rng                 *rand.Rand
+}
+
+// buildTenants resolves the -graph list into one tenantRun per graph,
+// validating every target serves each named graph at the same size. An
+// empty list produces the classic single-tenant run against the default
+// graph.
+func buildTenants(c *http.Client, endpoints []string, graphList string, p tenantParams) ([]*tenantRun, error) {
+	var names []string
+	for _, n := range strings.Split(graphList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		nodes, err := checkTargets(c, endpoints)
+		if err != nil {
+			return nil, err
+		}
+		pick, err := reachPicker(p.reachDist, p.reachSpan, nodes, p.rng)
+		if err != nil {
+			return nil, err
+		}
+		return []*tenantRun{{
+			nodes:     nodes,
+			shapes:    buildShapes(p.algs, "", nodes, p.maxSources, p.pool, p.m, p.seed),
+			pickReach: pick,
+		}}, nil
+	}
+
+	sizes, err := checkGraphTargets(c, endpoints, names)
+	if err != nil {
+		return nil, err
+	}
+	tenants := make([]*tenantRun, 0, len(names))
+	for i, name := range names {
+		nodes := sizes[name]
+		pick, err := reachPicker(p.reachDist, p.reachSpan, nodes, p.rng)
+		if err != nil {
+			return nil, err
+		}
+		tenants = append(tenants, &tenantRun{
+			name:       name,
+			nodes:      nodes,
+			reachParam: "&graph=" + name,
+			shapes:     buildShapes(p.algs, name, nodes, p.maxSources, p.pool, p.m, p.seed+int64(i)),
+			pickReach:  pick,
+			stats:      newCollector(),
+		})
+	}
+	return tenants, nil
+}
+
+// checkGraphTargets verifies every endpoint serves every named graph and
+// that each graph has the same node count fleet-wide, returning the sizes.
+func checkGraphTargets(c *http.Client, endpoints, names []string) (map[string]int, error) {
+	sizes := make(map[string]int)
+	for i, base := range endpoints {
+		graphs, err := fetchGraphs(c, base)
+		if err != nil {
+			return nil, fmt.Errorf("cannot reach server at %s: %w", base, err)
+		}
+		for _, name := range names {
+			n, ok := graphs[name]
+			if !ok {
+				return nil, fmt.Errorf("server %s does not serve graph %q (it serves %s)",
+					base, name, graphNames(graphs))
+			}
+			if i == 0 {
+				sizes[name] = n
+			} else if n != sizes[name] {
+				return nil, fmt.Errorf("graph %q has %d nodes on %s but %d on %s: refusing mixed fleet",
+					name, n, base, sizes[name], endpoints[0])
+			}
+		}
+	}
+	return sizes, nil
+}
+
+func graphNames(graphs map[string]int) string {
+	names := make([]string, 0, len(graphs))
+	for n := range graphs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// describeTenants renders the startup banner fragment for the graph set.
+func describeTenants(tenants []*tenantRun) string {
+	if len(tenants) == 1 && tenants[0].name == "" {
+		return fmt.Sprintf("%d nodes", tenants[0].nodes)
+	}
+	parts := make([]string, len(tenants))
+	for i, tr := range tenants {
+		parts[i] = fmt.Sprintf("%s (%d nodes)", tr.name, tr.nodes)
+	}
+	return "graphs " + strings.Join(parts, ", ")
 }
 
 // newPicker returns a round-robin endpoint selector (trivial for one).
@@ -234,8 +378,10 @@ func reachPicker(dist string, span, nodes int, rng *rand.Rand) (func() (int32, i
 	}
 }
 
-// shape is one pre-built /v1/query body.
-func buildShapes(algs string, nodes, maxSources, pool int, m int, seed int64) [][]byte {
+// buildShapes pre-builds the /v1/query bodies for one graph; a non-empty
+// graph name is carried in every body so a multi-graph server routes the
+// query to the right tenant.
+func buildShapes(algs, graph string, nodes, maxSources, pool int, m int, seed int64) [][]byte {
 	rng := rand.New(rand.NewSource(seed + 1))
 	var algList []string
 	for _, a := range bytes.Split([]byte(algs), []byte(",")) {
@@ -259,6 +405,9 @@ func buildShapes(algs string, nodes, maxSources, pool int, m int, seed int64) []
 		req := map[string]any{
 			"algorithm": algList[i%len(algList)],
 			"sources":   sources,
+		}
+		if graph != "" {
+			req["graph"] = graph
 		}
 		if m > 0 {
 			req["buffer_pages"] = m
@@ -407,6 +556,49 @@ func (c *collector) report(d time.Duration, dropped int64) {
 			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 			q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	}
+}
+
+// fetchGraphs reads the per-tenant graphs block from a multi-graph
+// server's /healthz (name -> node count).
+func fetchGraphs(c *http.Client, addr string) (map[string]int, error) {
+	resp, err := c.Get(addr + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Graphs map[string]struct {
+			Nodes int `json:"nodes"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	if len(h.Graphs) == 0 {
+		return nil, fmt.Errorf("server reports no named graphs (-graph needs tcserve -graphs or a multi-graph fleet)")
+	}
+	out := make(map[string]int, len(h.Graphs))
+	for name, g := range h.Graphs {
+		out[name] = g.Nodes
+	}
+	return out, nil
+}
+
+// summary prints the end-of-run line for one named graph's slice of the
+// load, so a multi-tenant run shows how the mix split per tenant.
+func (c *collector) summary(name string) {
+	c.mu.Lock()
+	lats := append([]time.Duration(nil), c.latencies...)
+	c.mu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	line := fmt.Sprintf("graph %-10s ok %d, rejected %d, errors %d",
+		name, c.ok.Load(), c.rejected.Load(), c.errors.Load())
+	if len(lats) > 0 {
+		q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		line += fmt.Sprintf(", p50 %s, p99 %s",
+			q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond))
+	}
+	fmt.Println(line)
 }
 
 func fetchNodes(c *http.Client, addr string) (int, error) {

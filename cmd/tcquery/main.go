@@ -11,6 +11,13 @@
 //	tcquery -index graph.idx -sources 1 -show   # prebuilt index, zero page I/O
 //	tcquery -alg hyb -n 2000 -sources 3,250 -trace   # append the span tree as JSON
 //	tcquery -n 50 -mutate insert:1:40,delete:3:4 -sources 1 -show
+//	tcquery -n 2000 -plan -planobs btc:5:120,srch:40:900   # adaptive ranking, seeded
+//
+// With -planobs, the static -plan table is followed by the adaptive
+// planner's ranking after seeding its observation store with the given
+// alg:latency_ms:page_io[:count] samples — an offline microscope on how
+// much evidence it takes to overturn the paper's cost model for this
+// graph shape (see docs/PLANNER.md).
 //
 // With -mutate, the graph is loaded into an offline copy of the dynamic
 // mutation service (the same code path tcserve -mutable runs): the
@@ -66,6 +73,7 @@ func main() {
 		indexFile  = flag.String("index", "", "answer from this prebuilt reachability index (tcindex build) instead of running the engine")
 		show       = flag.Bool("show", false, "print the computed successor sets")
 		plan       = flag.Bool("plan", false, "print the planner's cost estimates before running")
+		planObs    = flag.String("planobs", "", "seed the adaptive planner with alg:lat_ms:io[:count],... observations and print its ranking after the -plan table")
 		agg        = flag.String("agg", "", "run a generalized-closure aggregate instead: minhops, maxhops, pathcount")
 		trace      = flag.Bool("trace", false, "record phase spans and print the span tree as JSON after the metric record")
 		mutate     = flag.String("mutate", "", "apply comma-separated insert:from:to / delete:from:to ops through the dynamic service, then answer -sources from the mutated index")
@@ -130,7 +138,7 @@ func main() {
 		return
 	}
 
-	if *plan {
+	if *plan || *planObs != "" {
 		arcs, err := db.Arcs()
 		if err != nil {
 			fatal(err)
@@ -142,6 +150,9 @@ func main() {
 		fmt.Printf("planner profile: H=%.1f W=%.1f reach~%.0f\n", prof.H, prof.W, prof.Reach)
 		for _, e := range planner.Estimates(prof, len(q.Sources), *m) {
 			fmt.Printf("  %-10s est. %8.0f I/O  (%s)\n", e.Alg, e.IO, e.Why)
+		}
+		if *planObs != "" {
+			printAdaptivePlan(*planObs, prof, len(q.Sources), *m)
 		}
 		fmt.Println()
 	}
@@ -229,6 +240,46 @@ func main() {
 			sort.Slice(succ, func(i, j int) bool { return succ[i] < succ[j] })
 			fmt.Printf("%d -> %v\n", k, succ)
 		}
+	}
+}
+
+// printAdaptivePlan seeds a fresh adaptive planner with the -planobs
+// observations and prints its blended ranking for this profile — the
+// offline twin of tcserve's /v1/plan adaptive mode.
+func printAdaptivePlan(spec string, prof planner.Profile, numSources, m int) {
+	ad := planner.NewAdaptive(planner.Config{})
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 && len(fields) != 4 {
+			fatal(fmt.Errorf("bad observation %q: want alg:lat_ms:io or alg:lat_ms:io:count", part))
+		}
+		latMS, err1 := strconv.ParseFloat(fields[1], 64)
+		io, err2 := strconv.ParseInt(fields[2], 10, 64)
+		count := 1
+		var err3 error
+		if len(fields) == 4 {
+			count, err3 = strconv.Atoi(fields[3])
+		}
+		if err1 != nil || err2 != nil || err3 != nil || latMS < 0 || io < 0 || count < 1 {
+			fatal(fmt.Errorf("bad observation %q: latency, I/O and count must be non-negative numbers", part))
+		}
+		lat := time.Duration(latMS * float64(time.Millisecond))
+		for i := 0; i < count; i++ {
+			ad.Observe(prof, numSources, m, core.Algorithm(fields[0]), lat, io)
+		}
+	}
+	fmt.Println("adaptive ranking (seeded observations):")
+	for _, d := range ad.Rank(prof, numSources, m) {
+		line := fmt.Sprintf("  %-10s blended %8.0f  static %8.0f", d.Alg, d.Blended, d.IO)
+		if d.Samples > 0 {
+			line += fmt.Sprintf("  obs %.0f I/O / %s over %.1f samples",
+				d.ObsIO, d.ObsLatency.Round(time.Millisecond), d.Samples)
+		}
+		fmt.Println(line)
 	}
 }
 

@@ -18,8 +18,21 @@
 //	tcserve -addr :8080 -db /var/lib/tc/db -workers 16 -cache 1024
 //	tcserve -addr :8080 -n 2000 -index g.idx   # O(1) /v1/reach via tcindex build
 //	tcserve -addr :8080 -n 2000 -mutable       # read/write graph service
+//	tcserve -addr :8080 -graphs social=/var/lib/tc/social,citations=/var/lib/tc/cite
 //	tcserve -addr :8080 -pprof localhost:6060 -parallelism 4
 //	tcserve -addr :8080 -n 2000 -slowlog 250ms -tracebuf 256
+//
+// With -graphs, one process hosts several named graphs: requests pick a
+// tenant with the graph= query parameter (or the "graph" body field), each
+// tenant gets its own result-cache quota, admission queue and adaptive
+// planner, and /metrics carries tenant labels. The first listed graph is
+// the default tenant. -db/-index/-mutable are single-graph flags and
+// conflict with -graphs.
+//
+// /v1/plan is adaptive by default: the static cost model blended with
+// per-tenant execution observations (decayed by -decay, explored with
+// probability -explore). -adaptive=false restores the pure static
+// ranking. See docs/PLANNER.md.
 //
 // With -index, GET /v1/reach is answered from the prebuilt reachability
 // index (zero page I/O, no engine work); the engine path remains the
@@ -52,6 +65,7 @@ import (
 	_ "net/http/pprof" // profiling endpoints on the separate -pprof listener
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,6 +74,7 @@ import (
 	"tcstudy/internal/graph"
 	"tcstudy/internal/graphgen"
 	"tcstudy/internal/index"
+	"tcstudy/internal/planner"
 	"tcstudy/internal/server"
 )
 
@@ -86,8 +101,25 @@ func main() {
 		mutable    = flag.Bool("mutable", false, "accept POST /v1/arc mutations; /v1/reach serves the live graph")
 		maxBatch   = flag.Int("maxbatch", 1024, "max ops per mutation batch (-mutable)")
 		maxPending = flag.Int("maxpending", 256, "mutation batches allowed past the sealed index before 429 (-mutable)")
+		graphsSpec = flag.String("graphs", "", "serve several named graphs: name=dbdir,name=dbdir,... (first is the default tenant)")
+		adaptive   = flag.Bool("adaptive", true, "blend /v1/plan with per-tenant execution observations")
+		explore    = flag.Float64("explore", 0, "adaptive planner exploration probability (epsilon-greedy, 0 disables)")
+		decay      = flag.Float64("decay", 0, "adaptive planner observation decay (0 selects the default 0.9)")
 	)
 	flag.Parse()
+
+	if *graphsSpec != "" {
+		if *dbDir != "" || *indexFile != "" || *mutable {
+			fatal(errors.New("-graphs conflicts with the single-graph flags -db, -index and -mutable"))
+		}
+		serveMulti(*graphsSpec, serveOptions{
+			addr: *addr, workers: *workers, queue: *queue, cacheSize: *cacheSize,
+			timeout: *timeout, m: *m, pagePolicy: *pagePolicy, listPolicy: *listPolicy,
+			par: *par, pprofAddr: *pprofAddr, traceBuf: *traceBuf, slowLog: *slowLog,
+			adaptive: *adaptive, explore: *explore, decay: *decay,
+		})
+		return
+	}
 
 	var db *core.Database
 	if *dbDir != "" {
@@ -172,18 +204,80 @@ func main() {
 		},
 		Index:       idx,
 		Dynamic:     dyn,
+		Planner:     planner.Config{Decay: *decay, Epsilon: *explore},
+		StaticPlan:  !*adaptive,
 		TraceBuffer: *traceBuf,
 		SlowQuery:   *slowLog,
 		ReplayArgs:  replayArgs,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	log.Printf("tcserve listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
+		*addr, *workers, *queue, *cacheSize, *timeout)
+	runHTTP(*addr, *pprofAddr, srv)
+}
+
+// serveOptions carries the flag values shared by the single- and
+// multi-graph paths.
+type serveOptions struct {
+	addr, pagePolicy, listPolicy, pprofAddr string
+	workers, queue, cacheSize, m, par       int
+	traceBuf                                int
+	timeout, slowLog                        time.Duration
+	adaptive                                bool
+	explore, decay                          float64
+}
+
+// serveMulti hosts several named graphs from one process: -graphs
+// name=dbdir,... opened via core.OpenDatabase, first listed is the default
+// tenant.
+func serveMulti(spec string, o serveOptions) {
+	var graphs []server.NamedGraph
+	for _, part := range strings.Split(spec, ",") {
+		name, dir, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || dir == "" {
+			fatal(fmt.Errorf("-graphs entry %q is not name=dbdir", part))
+		}
+		db, err := core.OpenDatabase(dir)
+		if err != nil {
+			fatal(fmt.Errorf("graph %s: %w", name, err))
+		}
+		log.Printf("opened graph %s from %s: n=%d |G|=%d", name, dir, db.N(), db.NumArcs())
+		graphs = append(graphs, server.NamedGraph{Name: name, DB: db})
+	}
+	srv, err := server.NewMulti(graphs, server.Options{
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		CacheEntries:   o.cacheSize,
+		DefaultTimeout: o.timeout,
+		DefaultConfig: core.Config{
+			BufferPages: o.m,
+			PagePolicy:  o.pagePolicy,
+			ListPolicy:  o.listPolicy,
+			Parallelism: o.par,
+		},
+		Planner:     planner.Config{Decay: o.decay, Epsilon: o.explore},
+		StaticPlan:  !o.adaptive,
+		TraceBuffer: o.traceBuf,
+		SlowQuery:   o.slowLog,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("tcserve listening on %s serving %d graphs %v (default %s, workers=%d queue=%d/tenant cache=%d/tenant)",
+		o.addr, len(graphs), srv.Graphs(), graphs[0].Name, o.workers, o.queue, o.cacheSize)
+	runHTTP(o.addr, o.pprofAddr, srv)
+}
+
+// runHTTP runs the serving lifecycle: listen, optional pprof sidecar, and
+// graceful SIGINT/SIGTERM shutdown draining in-flight queries.
+func runHTTP(addr, pprofAddr string, srv *server.Server) {
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
 
 	// pprof registers on http.DefaultServeMux; the main listener serves the
 	// query mux only, so profiling never leaks onto the public address.
-	if *pprofAddr != "" {
+	if pprofAddr != "" {
 		go func() {
-			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			log.Printf("pprof listening on %s (/debug/pprof/)", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
 				log.Printf("pprof listener: %v", err)
 			}
 		}()
@@ -193,8 +287,6 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("tcserve listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
-		*addr, *workers, *queue, *cacheSize, *timeout)
 
 	select {
 	case err := <-errc:

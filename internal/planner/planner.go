@@ -64,13 +64,18 @@ func BuildProfile(g *graph.Graph, samples int, seed int64) (Profile, error) {
 	if samples < 1 {
 		samples = 8
 	}
-	rng := rand.New(rand.NewSource(seed))
-	var total int64
-	for i := 0; i < samples; i++ {
-		src := int32(rng.Intn(p.N) + 1)
-		total += int64(g.Reachable([]int32{src}).Count())
+	// A graph with no nodes has nothing to sample (and rand.Intn(0)
+	// panics); with no arcs every probe would come back empty. Either way
+	// Reach is exactly zero, no sampling required.
+	if p.N > 0 && p.Arcs > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		var total int64
+		for i := 0; i < samples; i++ {
+			src := int32(rng.Intn(p.N) + 1)
+			total += int64(g.Reachable([]int32{src}).Count())
+		}
+		p.Reach = float64(total) / float64(samples)
 	}
-	p.Reach = float64(total) / float64(samples)
 
 	// Condensation shape for the bit-matrix threshold: one Tarjan pass plus
 	// a distinct-arc count, the same statistics the engine derives before
@@ -143,6 +148,9 @@ func newScenario(p Profile, numSources, bufferPages int) scenario {
 
 // Estimates ranks every applicable algorithm for the given query shape.
 func Estimates(p Profile, numSources, bufferPages int) []Estimate {
+	if p.Arcs == 0 {
+		return emptyGraphEstimates(numSources)
+	}
 	sc := newScenario(p, numSources, bufferPages)
 	ests := []Estimate{
 		sc.btc(core.BTC, 1.0),
@@ -159,6 +167,30 @@ func Estimates(p Profile, numSources, bufferPages int) []Estimate {
 		ests = append(ests, sc.srch())
 	}
 	sort.Slice(ests, func(i, j int) bool { return ests[i].IO < ests[j].IO })
+	return ests
+}
+
+// emptyGraphEstimates is the ranking for a graph with zero arcs: every
+// candidate performs zero work (the closure is empty whatever the
+// algorithm), so each is listed at zero estimated I/O in the canonical
+// candidate order. The models themselves are skipped — several divide by
+// shape statistics that are degenerate on an empty relation, and a NaN
+// leaking into the ranking (or into Profile.Density via a zero-node
+// condensation) would poison the JSON plan response.
+func emptyGraphEstimates(numSources int) []Estimate {
+	const why = "empty graph: the closure is empty, no page I/O needed"
+	ests := []Estimate{
+		{Alg: core.BTC, Why: why},
+		{Alg: core.BJ, Why: why},
+		{Alg: core.SPN, Why: why},
+		{Alg: core.JKB2, Why: why},
+		{Alg: core.SEMI, Why: why},
+		{Alg: core.WARREN, Why: why},
+		{Alg: core.BITM, Why: why},
+	}
+	if numSources > 0 {
+		ests = append(ests, Estimate{Alg: core.SRCH, Why: why})
+	}
 	return ests
 }
 

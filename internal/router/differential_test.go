@@ -112,7 +112,7 @@ func TestRouterDifferential(t *testing.T) {
 			// sub-queries against the single server and merge those.
 			rg := rt.snapshot()
 			var shardRecords []Record
-			for _, g := range partition(rg, sources) {
+			for _, g := range partition(rg, sources, 0) {
 				sub := map[string]any{"algorithm": alg, "sources": g.sources, "include_successors": true}
 				shardRecords = append(shardRecords, postShardQuery(t, single.URL, sub).Metrics)
 			}

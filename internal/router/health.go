@@ -54,6 +54,9 @@ type replica struct {
 	arcs        int
 	indexGen    int
 	hasIndex    bool
+	// graphs is the per-tenant identity block of a multi-graph replica
+	// (nil when the replica serves a single unnamed graph).
+	graphs map[string]graphIdentity
 
 	// Dynamic (mutable) replica state, from healthz's dynamic block or
 	// refreshed by a write fan-out. lagExcluded marks a healthy replica
@@ -64,6 +67,14 @@ type replica struct {
 	dynGen      int64
 	dynPending  int
 	lagExcluded bool
+}
+
+// graphIdentity is one named graph's dataset identity as reported by a
+// replica's /healthz graphs block.
+type graphIdentity struct {
+	Nodes       int    `json:"nodes"`
+	Arcs        int    `json:"arcs"`
+	Fingerprint string `json:"fingerprint"`
 }
 
 // replicaHealthz is the subset of tcserve's /healthz body the router
@@ -82,6 +93,10 @@ type replicaHealthz struct {
 		Generation int64 `json:"generation"`
 		Pending    int   `json:"pending"`
 	} `json:"dynamic"`
+	// Graphs carries per-tenant identities on a multi-graph replica. The
+	// top-level fingerprint folds them, so the top-level comparison still
+	// decides enrollment; the per-tenant block names which graph diverged.
+	Graphs map[string]graphIdentity `json:"graphs"`
 }
 
 // CheckNow sweeps every replica's /healthz once, synchronously, and
@@ -162,18 +177,22 @@ func (rt *Router) applyProbe(rep *replica, h replicaHealthz, err error) bool {
 		rep.dynGen = h.Dynamic.Generation
 		rep.dynPending = h.Dynamic.Pending
 	}
+	rep.graphs = h.Graphs
 
 	// Enrollment gate: the first healthy replica pins the fleet's dataset
-	// identity; everyone after must match it exactly.
+	// identity — the top-level fingerprint (which on a multi-graph replica
+	// folds every tenant's identity) plus the per-tenant block; everyone
+	// after must match it exactly, tenant by tenant.
 	if rt.expect == "" {
 		rt.expect = h.Fingerprint
 		rt.nodes = h.Nodes
+		rt.fleetGraphs = h.Graphs
 	}
 	if h.Fingerprint != rt.expect {
 		rep.consecOK = 0
+		rep.lastErr = rt.mismatchReason(h)
 		if rep.state != stateMismatched {
 			rep.state = stateMismatched
-			rep.lastErr = fmt.Sprintf("dataset fingerprint %s does not match fleet %s", h.Fingerprint, rt.expect)
 			rt.met.Mismatched.Add(1)
 			return wasHealthy
 		}
@@ -201,6 +220,32 @@ func (rt *Router) applyProbe(rep *replica, h replicaHealthz, err error) bool {
 		return true
 	}
 	return false
+}
+
+// mismatchReason explains a fingerprint mismatch. When both the fleet and
+// the probed replica expose per-tenant identities, the reason names the
+// exact graph that diverged (or is missing) — on a multi-graph fleet the
+// folded top-level fingerprint alone cannot tell the operator which tenant
+// to redeploy. Caller holds rt.mu.
+func (rt *Router) mismatchReason(h replicaHealthz) string {
+	if len(rt.fleetGraphs) > 0 && len(h.Graphs) > 0 {
+		for name, want := range rt.fleetGraphs {
+			got, ok := h.Graphs[name]
+			if !ok {
+				return fmt.Sprintf("graph %q missing (fleet serves it with fingerprint %s)", name, want.Fingerprint)
+			}
+			if got.Fingerprint != want.Fingerprint {
+				return fmt.Sprintf("graph %q fingerprint %s does not match fleet %s",
+					name, got.Fingerprint, want.Fingerprint)
+			}
+		}
+		for name := range h.Graphs {
+			if _, ok := rt.fleetGraphs[name]; !ok {
+				return fmt.Sprintf("graph %q not served by the fleet", name)
+			}
+		}
+	}
+	return fmt.Sprintf("dataset fingerprint %s does not match fleet %s", h.Fingerprint, rt.expect)
 }
 
 // rebuildRingLocked rebuilds the consistent-hash ring over the healthy

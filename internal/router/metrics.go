@@ -40,8 +40,9 @@ type Metrics struct {
 	lat    *obsv.Histogram // end-to-end router latency, seconds
 	fanout *obsv.Histogram // shards contacted per scattered query
 
-	mu     sync.Mutex
-	shards map[string]*shardCounters // by replica URL
+	mu      sync.Mutex
+	shards  map[string]*shardCounters // by replica URL
+	tenants map[string]*atomic.Int64  // routed requests by tenant name
 }
 
 type shardCounters struct {
@@ -55,11 +56,28 @@ func fanoutBuckets() []float64 { return []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 
 // NewMetrics returns a zeroed metric set with the clock started.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:  time.Now(),
-		lat:    obsv.NewHistogram(obsv.DurationBuckets()...),
-		fanout: obsv.NewHistogram(fanoutBuckets()...),
-		shards: make(map[string]*shardCounters),
+		start:   time.Now(),
+		lat:     obsv.NewHistogram(obsv.DurationBuckets()...),
+		fanout:  obsv.NewHistogram(fanoutBuckets()...),
+		shards:  make(map[string]*shardCounters),
+		tenants: make(map[string]*atomic.Int64),
 	}
+}
+
+// TenantRequest counts one routed read by tenant name; requests without a
+// graph selector are the default tenant's.
+func (m *Metrics) TenantRequest(tenant string) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	m.mu.Lock()
+	c := m.tenants[tenant]
+	if c == nil {
+		c = &atomic.Int64{}
+		m.tenants[tenant] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
 }
 
 // ObserveLatency records one completed router request.
@@ -151,6 +169,24 @@ func (m *Metrics) Prometheus(health []replicaHealth) string {
 		fails[i] = m.shards[u].failures.Load()
 	}
 	m.mu.Unlock()
+	m.mu.Lock()
+	tnames := make([]string, 0, len(m.tenants))
+	for n := range m.tenants {
+		tnames = append(tnames, n)
+	}
+	sort.Strings(tnames)
+	tvals := make([]int64, len(tnames))
+	for i, n := range tnames {
+		tvals[i] = m.tenants[n].Load()
+	}
+	m.mu.Unlock()
+	if len(tnames) > 0 {
+		e.CounterFamily("tcr_tenant_requests_total", "Reads routed per tenant (query, reach and plan).")
+		for i, n := range tnames {
+			e.Sample("tcr_tenant_requests_total", []obsv.Label{{Name: "tenant", Value: n}}, float64(tvals[i]))
+		}
+	}
+
 	e.CounterFamily("tcr_shard_requests_total", "Sub-requests sent to each replica, including retries and hedges.")
 	for i, u := range urls {
 		e.Sample("tcr_shard_requests_total", []obsv.Label{{Name: "replica", Value: u}}, float64(reqs[i]))

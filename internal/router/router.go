@@ -33,6 +33,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"sort"
@@ -130,11 +131,12 @@ type Router struct {
 	// replica in the same order or their logs (and index states) diverge.
 	writeMu sync.Mutex
 
-	mu       sync.RWMutex
-	replicas []*replica
-	ring     *ring  // healthy replicas only; nil while none are enrolled
-	expect   string // fleet dataset fingerprint ("" until first enrollment)
-	nodes    int    // fleet node count, from the enrolling healthz
+	mu          sync.RWMutex
+	replicas    []*replica
+	ring        *ring                    // healthy replicas only; nil while none are enrolled
+	expect      string                   // fleet dataset fingerprint ("" until first enrollment)
+	nodes       int                      // fleet node count, from the enrolling healthz
+	fleetGraphs map[string]graphIdentity // per-tenant identities (multi-graph fleets)
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -201,6 +203,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 type queryRequest struct {
 	Algorithm         string  `json:"algorithm"`
 	Sources           []int32 `json:"sources"`
+	Graph             string  `json:"graph,omitempty"`
 	BufferPages       int     `json:"buffer_pages,omitempty"`
 	PagePolicy        string  `json:"page_policy,omitempty"`
 	ListPolicy        string  `json:"list_policy,omitempty"`
@@ -245,22 +248,39 @@ type shardGroup struct {
 	rotation []*replica
 }
 
+// tenantSalt folds a tenant name into a ring-key perturbation, so the same
+// source vertex of different tenants lands on different owners: each
+// tenant's working set spreads independently over the fleet, and one
+// tenant's hot sources do not pile onto the replicas owning another
+// tenant's identical vertex ids. The default tenant's salt is zero, which
+// keeps single-graph routing (and its warm caches) byte-identical.
+func tenantSalt(graph string) int32 {
+	if graph == "" {
+		return 0
+	}
+	f := fnv.New32a()
+	f.Write([]byte(graph))
+	return int32(f.Sum32())
+}
+
 // partition groups a query's sources by owning replica, preserving the
 // request's source order inside each group so replicas see canonical
-// sub-queries. An empty source list (full closure) is one group routed by
-// a fixed key: the whole fleet holds the whole graph, so any owner works,
-// and pinning the key keeps the full-closure cache warm on one replica.
-func partition(rg *ring, sources []int32) []shardGroup {
+// sub-queries. Ring keys are salted by the tenant so each tenant's
+// ownership map is independent. An empty source list (full closure) is one
+// group routed by the tenant's fixed key: the whole fleet holds the whole
+// graph, so any owner works, and pinning the key keeps the full-closure
+// cache warm on one replica per tenant.
+func partition(rg *ring, sources []int32, salt int32) []shardGroup {
 	if len(sources) == 0 {
-		return []shardGroup{{sources: nil, rotation: rg.rotation(0)}}
+		return []shardGroup{{sources: nil, rotation: rg.rotation(salt)}}
 	}
 	order := make([]*replica, 0, 4)
 	groups := make(map[*replica]*shardGroup, 4)
 	for _, s := range sources {
-		rep := rg.owner(s)
+		rep := rg.owner(s ^ salt)
 		g := groups[rep]
 		if g == nil {
-			g = &shardGroup{rotation: rg.rotation(s)}
+			g = &shardGroup{rotation: rg.rotation(s ^ salt)}
 			groups[rep] = g
 			order = append(order, rep)
 		}
@@ -443,7 +463,11 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rt.noReplicas(w)
 		return
 	}
-	groups := partition(rg, qr.Sources)
+	if qr.Graph == "" {
+		qr.Graph = r.URL.Query().Get("graph")
+	}
+	rt.met.TenantRequest(qr.Graph)
+	groups := partition(rg, qr.Sources, tenantSalt(qr.Graph))
 	rt.met.ObserveFanout(len(groups))
 
 	outcomes := make([]shardOutcome, len(groups))
@@ -540,7 +564,10 @@ func (rt *Router) handleReach(w http.ResponseWriter, r *http.Request) {
 		rt.noReplicas(w)
 		return
 	}
-	out := rt.doShard(r.Context(), rg.rotation(int32(src)), http.MethodGet, "/v1/reach?"+r.URL.RawQuery, nil)
+	tenant := r.URL.Query().Get("graph")
+	rt.met.TenantRequest(tenant)
+	out := rt.doShard(r.Context(), rg.rotation(int32(src)^tenantSalt(tenant)),
+		http.MethodGet, "/v1/reach?"+r.URL.RawQuery, nil)
 	if out.err != nil || out.status != http.StatusOK {
 		rt.failShard(w, out)
 		return
@@ -552,7 +579,11 @@ func (rt *Router) handleReach(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePlan proxies the planner ranking to one healthy replica — every
-// replica serves the same graph, so any profile is the fleet's profile.
+// replica serves the same graphs, so any profile is the fleet's profile.
+// The rotation is pinned per tenant: a tenant's plan requests keep landing
+// on the replica whose adaptive observation store that tenant's queries
+// feed most (its full-closure owner), so the served ranking reflects the
+// densest evidence available.
 func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
 	rt.met.Plans.Add(1)
 	rg := rt.snapshot()
@@ -560,11 +591,13 @@ func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
 		rt.noReplicas(w)
 		return
 	}
+	tenant := r.URL.Query().Get("graph")
+	rt.met.TenantRequest(tenant)
 	path := "/v1/plan"
 	if r.URL.RawQuery != "" {
 		path += "?" + r.URL.RawQuery
 	}
-	out := rt.doShard(r.Context(), rg.rotation(0), http.MethodGet, path, nil)
+	out := rt.doShard(r.Context(), rg.rotation(tenantSalt(tenant)), http.MethodGet, path, nil)
 	if out.err != nil || out.status != http.StatusOK {
 		rt.failShard(w, out)
 		return
@@ -576,17 +609,18 @@ func (rt *Router) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 // replicaStatus is one replica's entry in the router's /healthz.
 type replicaStatus struct {
-	URL                 string `json:"url"`
-	State               string `json:"state"`
-	Fingerprint         string `json:"fingerprint,omitempty"`
-	Nodes               int    `json:"nodes,omitempty"`
-	Arcs                int    `json:"arcs,omitempty"`
-	IndexGeneration     int    `json:"index_generation,omitempty"`
-	Seq                 int64  `json:"seq,omitempty"`
-	Pending             int    `json:"pending,omitempty"`
-	Lagging             bool   `json:"lagging,omitempty"`
-	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
-	LastError           string `json:"last_error,omitempty"`
+	URL                 string            `json:"url"`
+	State               string            `json:"state"`
+	Fingerprint         string            `json:"fingerprint,omitempty"`
+	Nodes               int               `json:"nodes,omitempty"`
+	Arcs                int               `json:"arcs,omitempty"`
+	Graphs              map[string]string `json:"graphs,omitempty"` // tenant -> fingerprint
+	IndexGeneration     int               `json:"index_generation,omitempty"`
+	Seq                 int64             `json:"seq,omitempty"`
+	Pending             int               `json:"pending,omitempty"`
+	Lagging             bool              `json:"lagging,omitempty"`
+	ConsecutiveFailures int               `json:"consecutive_failures,omitempty"`
+	LastError           string            `json:"last_error,omitempty"`
 }
 
 // handleHealthz reports the router's own health: the fleet fingerprint,
@@ -618,9 +652,22 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			st.Pending = rep.dynPending
 			st.Lagging = rep.lagExcluded
 		}
+		if len(rep.graphs) > 0 {
+			st.Graphs = make(map[string]string, len(rep.graphs))
+			for name, g := range rep.graphs {
+				st.Graphs[name] = g.Fingerprint
+			}
+		}
 		statuses = append(statuses, st)
 	}
 	expect, nodes := rt.expect, rt.nodes
+	var fleetGraphs map[string]graphIdentity
+	if len(rt.fleetGraphs) > 0 {
+		fleetGraphs = make(map[string]graphIdentity, len(rt.fleetGraphs))
+		for name, g := range rt.fleetGraphs {
+			fleetGraphs[name] = g
+		}
+	}
 	rt.mu.RUnlock()
 	sort.Slice(statuses, func(i, j int) bool { return statuses[i].URL < statuses[j].URL })
 	status := "ok"
@@ -629,13 +676,17 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "unavailable"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	resp := map[string]any{
 		"status":           status,
 		"fingerprint":      expect,
 		"nodes":            nodes,
 		"healthy_replicas": healthy,
 		"replicas":         statuses,
-	})
+	}
+	if fleetGraphs != nil {
+		resp["graphs"] = fleetGraphs
+	}
+	writeJSON(w, code, resp)
 }
 
 // healthSnapshot extracts the per-replica health bits for /metrics.

@@ -9,18 +9,24 @@ import (
 )
 
 // Admission control. The engine's unit of safe concurrency is the
-// core.RunConcurrent batch: queries of one batch run in parallel over the
+// core.RunConcurrent batch: queries of one batch run in parallel over one
 // shared database, and each request's temporary files are released the
-// moment that request finishes (tracked per owner, so a long-running
-// straggler no longer pins the whole batch's temp storage). The
-// dispatcher serves
-// continuous traffic as a sequence of batches: it blocks for the next
-// queued job, tops the batch up to the worker limit without waiting, runs
-// the batch, and repeats. The queue in front of the batch loop is bounded;
-// a submission finding it full is rejected immediately (HTTP 429), which
-// caps both memory and worst-case queueing delay under overload.
+// moment that request finishes. The dispatcher serves continuous traffic
+// as a sequence of batches drawn from per-tenant FIFO queues: it picks the
+// next tenant with waiting jobs in round-robin order, fills one batch from
+// that tenant's queue up to the worker limit (a batch never mixes tenants
+// — it runs over a single database), runs it, and repeats. Round-robin
+// across tenants is the fairness guarantee multi-graph serving needs: a
+// tenant flooding its queue delays only its own jobs, never another
+// tenant's turn.
+//
+// Each tenant's queue is bounded separately; a submission finding its
+// tenant's queue full is rejected immediately (HTTP 429), which caps both
+// memory and worst-case queueing delay per tenant — one tenant's overload
+// cannot consume another tenant's admission quota.
 
-// ErrSaturated is returned by Submit when the admission queue is full.
+// ErrSaturated is returned by Submit when the tenant's admission queue is
+// full.
 var ErrSaturated = errors.New("server: admission queue full")
 
 // ErrClosed is returned by Submit after the dispatcher has been closed.
@@ -29,42 +35,66 @@ var ErrClosed = errors.New("server: dispatcher closed")
 // job is one admitted query waiting for a batch slot.
 type job struct {
 	req  core.Request
+	db   *core.Database
 	ctx  context.Context
 	done chan core.Response // buffered; the batch loop never blocks on it
 }
 
 // dispatcher is the bounded worker-pool admission controller.
 type dispatcher struct {
-	exec    func([]core.Request) []core.Response
-	queue   chan *job
+	exec    func(db *core.Database, reqs []core.Request) []core.Response
 	workers int // max queries per batch, i.e. peak engine concurrency
-	stop    chan struct{}
+	depth   int // per-tenant queue bound
 	done    chan struct{}
 	closing sync.Once
 
-	// mu serializes admission against Close: once closed is set no job can
-	// enter the queue, so the shutdown drain cannot strand a submitter.
 	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[string][]*job
+	order  []string // round-robin order over tenants
+	rr     int      // next tenant index to consider
+	queued int      // total jobs across all queues
 	closed bool
 }
 
-// QueueDepth is the number of jobs currently waiting in the admission
-// queue (not counting jobs already placed in a running batch).
-func (d *dispatcher) QueueDepth() int { return len(d.queue) }
-
-// QueueCap is the admission queue's capacity.
-func (d *dispatcher) QueueCap() int { return cap(d.queue) }
-
-// newDispatcher builds a dispatcher executing batches with
-// core.RunConcurrent over db.
-func newDispatcher(db *core.Database, workers, queueDepth int) *dispatcher {
-	return newDispatcherFunc(func(reqs []core.Request) []core.Response {
-		return core.RunConcurrent(db, reqs)
-	}, workers, queueDepth)
+// QueueDepth is the number of jobs currently waiting across all tenant
+// queues (not counting jobs already placed in a running batch).
+func (d *dispatcher) QueueDepth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queued
 }
 
-// newDispatcherFunc allows tests to substitute the batch executor.
+// TenantQueueDepth is the number of jobs waiting in one tenant's queue.
+func (d *dispatcher) TenantQueueDepth(tenant string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.queues[tenant])
+}
+
+// QueueCap is the per-tenant admission queue capacity.
+func (d *dispatcher) QueueCap() int { return d.depth }
+
+// defaultTenant is the queue name single-graph servers submit to.
+const defaultTenant = "default"
+
+// newDispatcher builds a dispatcher executing batches with
+// core.RunConcurrent, with one bounded queue per tenant name.
+func newDispatcher(tenants []string, workers, queueDepth int) *dispatcher {
+	return newDispatcherMulti(func(db *core.Database, reqs []core.Request) []core.Response {
+		return core.RunConcurrent(db, reqs)
+	}, tenants, workers, queueDepth)
+}
+
+// newDispatcherFunc allows tests to substitute the batch executor; it
+// serves the single default tenant.
 func newDispatcherFunc(exec func([]core.Request) []core.Response, workers, queueDepth int) *dispatcher {
+	return newDispatcherMulti(func(_ *core.Database, reqs []core.Request) []core.Response {
+		return exec(reqs)
+	}, []string{defaultTenant}, workers, queueDepth)
+}
+
+func newDispatcherMulti(exec func(*core.Database, []core.Request) []core.Response, tenants []string, workers, queueDepth int) *dispatcher {
 	if workers < 1 {
 		workers = 1
 	}
@@ -73,33 +103,50 @@ func newDispatcherFunc(exec func([]core.Request) []core.Response, workers, queue
 	}
 	d := &dispatcher{
 		exec:    exec,
-		queue:   make(chan *job, queueDepth),
 		workers: workers,
-		stop:    make(chan struct{}),
+		depth:   queueDepth,
 		done:    make(chan struct{}),
+		queues:  make(map[string][]*job, len(tenants)),
+		order:   append([]string(nil), tenants...),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	for _, t := range tenants {
+		d.queues[t] = nil
 	}
 	go d.loop()
 	return d
 }
 
-// Submit admits one query and blocks until its result is ready, the
-// context expires, or the queue rejects it. A query whose submitter times
-// out may still execute (the engine's runs are not interruptible); its
-// result then lands in the cache for the retry.
+// Submit admits one query for the default tenant. See SubmitTenant.
 func (d *dispatcher) Submit(ctx context.Context, req core.Request) (*core.Result, error) {
-	j := &job{req: req, ctx: ctx, done: make(chan core.Response, 1)}
+	return d.SubmitTenant(ctx, defaultTenant, nil, req)
+}
+
+// SubmitTenant admits one query into the named tenant's queue and blocks
+// until its result is ready, the context expires, or the queue rejects it.
+// A query whose submitter times out may still execute (the engine's runs
+// are not interruptible); its result then lands in the cache for the
+// retry.
+func (d *dispatcher) SubmitTenant(ctx context.Context, tenant string, db *core.Database, req core.Request) (*core.Result, error) {
+	j := &job{req: req, db: db, ctx: ctx, done: make(chan core.Response, 1)}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return nil, ErrClosed
 	}
-	select {
-	case d.queue <- j:
+	q, ok := d.queues[tenant]
+	if !ok {
 		d.mu.Unlock()
-	default:
+		return nil, errors.New("server: unknown tenant queue " + tenant)
+	}
+	if len(q) >= d.depth {
 		d.mu.Unlock()
 		return nil, ErrSaturated
 	}
+	d.queues[tenant] = append(q, j)
+	d.queued++
+	d.cond.Signal()
+	d.mu.Unlock()
 	select {
 	case resp := <-j.done:
 		return resp.Result, resp.Err
@@ -114,8 +161,8 @@ func (d *dispatcher) Close() {
 	d.closing.Do(func() {
 		d.mu.Lock()
 		d.closed = true
+		d.cond.Broadcast()
 		d.mu.Unlock()
-		close(d.stop)
 	})
 	<-d.done
 }
@@ -123,47 +170,48 @@ func (d *dispatcher) Close() {
 func (d *dispatcher) loop() {
 	defer close(d.done)
 	for {
-		first, ok := d.next()
-		if !ok {
+		batch := d.nextBatch()
+		if batch == nil {
 			return
-		}
-		batch := []*job{first}
-	fill:
-		for len(batch) < d.workers {
-			select {
-			case j := <-d.queue:
-				batch = append(batch, j)
-			default:
-				break fill
-			}
 		}
 		d.run(batch)
 	}
 }
 
-// next blocks for the next job. After Close it keeps draining whatever is
-// already queued and reports ok=false only once the queue is empty.
-func (d *dispatcher) next() (*job, bool) {
-	select {
-	case j := <-d.queue:
-		return j, true
-	default:
-	}
-	select {
-	case j := <-d.queue:
-		return j, true
-	case <-d.stop:
-		select {
-		case j := <-d.queue:
-			return j, true
-		default:
-			return nil, false
+// nextBatch blocks until some tenant has queued jobs, then takes up to the
+// worker limit from the next non-empty tenant queue in round-robin order.
+// After Close it keeps draining whatever is already queued and returns nil
+// only once every queue is empty.
+func (d *dispatcher) nextBatch() []*job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		for i := 0; i < len(d.order); i++ {
+			name := d.order[(d.rr+i)%len(d.order)]
+			q := d.queues[name]
+			if len(q) == 0 {
+				continue
+			}
+			n := len(q)
+			if n > d.workers {
+				n = d.workers
+			}
+			batch := append([]*job(nil), q[:n]...)
+			d.queues[name] = q[:copy(q, q[n:])]
+			d.queued -= n
+			d.rr = (d.rr + i + 1) % len(d.order)
+			return batch
 		}
+		if d.closed {
+			return nil
+		}
+		d.cond.Wait()
 	}
 }
 
 // run executes one batch. Jobs whose context expired while queued are
-// answered without touching the engine.
+// answered without touching the engine. All jobs of a batch belong to one
+// tenant and therefore share one database.
 func (d *dispatcher) run(batch []*job) {
 	live := batch[:0]
 	for _, j := range batch {
@@ -180,7 +228,7 @@ func (d *dispatcher) run(batch []*job) {
 	for i, j := range live {
 		reqs[i] = j.req
 	}
-	resps := d.exec(reqs)
+	resps := d.exec(live[0].db, reqs)
 	for i, j := range live {
 		j.done <- resps[i]
 	}

@@ -207,14 +207,106 @@ func TestDispatcherDrainsOnClose(t *testing.T) {
 	}
 }
 
-// waitQueue waits until the dispatcher queue holds want jobs.
+// waitQueue waits until the dispatcher queues hold want jobs in total.
 func waitQueue(t *testing.T, d *dispatcher, want int) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)
-	for len(d.queue) < want {
+	for d.QueueDepth() < want {
 		if time.Now().After(deadline) {
-			t.Fatalf("queue never reached %d jobs (have %d)", want, len(d.queue))
+			t.Fatalf("queue never reached %d jobs (have %d)", want, d.QueueDepth())
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDispatcherTenantFairness pins the round-robin guarantee: a tenant
+// flooding its own queue cannot starve another tenant's single job. With
+// one worker, tenant A holds the engine and has more jobs queued; tenant
+// B's lone job must run in the very next batch.
+func TestDispatcherTenantFairness(t *testing.T) {
+	ex := newBlockingExec()
+	d := newDispatcherMulti(func(_ *core.Database, reqs []core.Request) []core.Response {
+		return ex.exec(reqs)
+	}, []string{"a", "b"}, 1, 8)
+
+	var wg sync.WaitGroup
+	submit := func(tenant string, alg core.Algorithm) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := d.SubmitTenant(context.Background(), tenant, nil, core.Request{Alg: alg}); err != nil {
+				t.Errorf("submit %s: %v", tenant, err)
+			}
+		}()
+	}
+	// Tenant A occupies the single worker, then floods its queue.
+	submit("a", core.SRCH)
+	<-ex.started
+	for i := 0; i < 4; i++ {
+		submit("a", core.SRCH)
+	}
+	waitQueue(t, d, 4)
+	// Tenant B queues one job behind A's backlog.
+	submit("b", core.BTC)
+	waitQueue(t, d, 5)
+
+	// Release the running batch: the next batch must be tenant B's job,
+	// not more of tenant A's backlog.
+	ex.release <- struct{}{}
+	<-ex.started
+	ex.mu.Lock()
+	second := ex.batches[1]
+	ex.mu.Unlock()
+	if len(second) != 1 || second[0].Alg != core.BTC {
+		t.Fatalf("second batch %v is not tenant B's job: round-robin fairness violated", second)
+	}
+	// Drain the rest.
+	go func() {
+		for {
+			select {
+			case ex.release <- struct{}{}:
+			case <-d.done:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	d.Close()
+}
+
+// TestDispatcherPerTenantSaturation pins that queue bounds are per tenant:
+// one tenant's full queue rejects only that tenant.
+func TestDispatcherPerTenantSaturation(t *testing.T) {
+	ex := newBlockingExec()
+	d := newDispatcherMulti(func(_ *core.Database, reqs []core.Request) []core.Response {
+		return ex.exec(reqs)
+	}, []string{"a", "b"}, 1, 1)
+	defer func() { close(ex.release); d.Close() }()
+
+	// Tenant A: one job executing, one queued — its quota is spent.
+	go d.SubmitTenant(context.Background(), "a", nil, core.Request{Alg: core.SRCH}) //nolint:errcheck
+	<-ex.started
+	go d.SubmitTenant(context.Background(), "a", nil, core.Request{Alg: core.SRCH}) //nolint:errcheck
+	waitQueue(t, d, 1)
+	if _, err := d.SubmitTenant(context.Background(), "a", nil, core.Request{Alg: core.SRCH}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("tenant A over quota returned %v, want ErrSaturated", err)
+	}
+	// Tenant B's queue is untouched: admission succeeds.
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.SubmitTenant(context.Background(), "b", nil, core.Request{Alg: core.BTC})
+		done <- err
+	}()
+	waitQueue(t, d, 2)
+	if got := d.TenantQueueDepth("b"); got != 1 {
+		t.Fatalf("tenant B queue depth %d, want 1", got)
+	}
+	ex.release <- struct{}{}
+	<-ex.started
+	ex.release <- struct{}{}
+	<-ex.started
+	ex.release <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatalf("tenant B job failed under tenant A saturation: %v", err)
 	}
 }

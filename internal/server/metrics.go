@@ -8,6 +8,7 @@ import (
 
 	"tcstudy/internal/core"
 	"tcstudy/internal/obsv"
+	"tcstudy/internal/planner"
 )
 
 // Metrics is the server's live counter set, exported by the /metrics
@@ -184,6 +185,38 @@ func (m *Metrics) Snapshot() Snapshot {
 	return s
 }
 
+// tenantCounters is one tenant's slice of the request counters. The global
+// Metrics counters keep counting everything; these attribute the same
+// events to a named graph for the tenant-labeled metric families.
+type tenantCounters struct {
+	Queries     atomic.Int64
+	Reaches     atomic.Int64
+	Plans       atomic.Int64
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	Rejected    atomic.Int64
+	PagesServed atomic.Int64
+}
+
+// TenantState is the per-scrape snapshot of one tenant, passed into
+// Prometheus by the caller because tenants (caches, queues, planners)
+// belong to the server, not to Metrics.
+type TenantState struct {
+	Name        string
+	Queries     int64
+	Reaches     int64
+	Plans       int64
+	CacheHits   int64
+	CacheMisses int64
+	Rejected    int64
+	PagesServed int64
+	CacheLen    int
+	CacheCap    int
+	QueueDepth  int
+	Adaptive    bool // Planner below is meaningful
+	Planner     planner.Stats
+}
+
 // IndexState is the per-scrape snapshot of the serving reachability index,
 // passed into Prometheus by the caller because the index (static or
 // dynamic) belongs to the server, not to Metrics.
@@ -201,8 +234,11 @@ type IndexState struct {
 
 // Prometheus renders the metric set in text exposition format. The queue
 // gauges come from the caller because the admission queue belongs to the
-// dispatcher, not to Metrics.
-func (m *Metrics) Prometheus(queueDepth, queueCap int, ix IndexState) string {
+// dispatcher, not to Metrics; likewise the tenant snapshots (the queue
+// capacity is the per-tenant admission bound). When tenant snapshots are
+// supplied, the tenant-labeled tc_tenant_* families are emitted, and the
+// tc_planner_* families for every tenant running an adaptive planner.
+func (m *Metrics) Prometheus(queueDepth, queueCap int, ix IndexState, tenants ...TenantState) string {
 	e := obsv.NewExposition()
 	e.Gauge("tc_uptime_seconds", "Seconds since the server started.",
 		time.Since(m.start).Seconds())
@@ -277,6 +313,70 @@ func (m *Metrics) Prometheus(queueDepth, queueCap int, ix IndexState) string {
 		e.Gauge("tc_mutation_pending",
 			"Mutation log batches not yet folded into the sealed index generation.",
 			float64(ix.Pending))
+	}
+
+	if len(tenants) > 0 {
+		tl := func(name string) []obsv.Label {
+			return []obsv.Label{{Name: "tenant", Value: name}}
+		}
+		te := func(name, endpoint string) []obsv.Label {
+			return []obsv.Label{{Name: "tenant", Value: name}, {Name: "endpoint", Value: endpoint}}
+		}
+		e.CounterFamily("tc_tenant_requests_total",
+			"Requests accepted for processing, by tenant and endpoint.")
+		for _, t := range tenants {
+			e.Sample("tc_tenant_requests_total", te(t.Name, "query"), float64(t.Queries))
+			e.Sample("tc_tenant_requests_total", te(t.Name, "reach"), float64(t.Reaches))
+			e.Sample("tc_tenant_requests_total", te(t.Name, "plan"), float64(t.Plans))
+		}
+		e.CounterFamily("tc_tenant_cache_hits_total",
+			"Queries answered from the tenant's result cache.")
+		e.CounterFamily("tc_tenant_cache_misses_total",
+			"Tenant queries executed by the engine.")
+		e.CounterFamily("tc_tenant_rejected_total",
+			"Tenant requests rejected with 429 by admission control.")
+		e.CounterFamily("tc_tenant_pages_served_total",
+			"Page I/O performed by the tenant's executed queries.")
+		for _, t := range tenants {
+			e.Sample("tc_tenant_cache_hits_total", tl(t.Name), float64(t.CacheHits))
+			e.Sample("tc_tenant_cache_misses_total", tl(t.Name), float64(t.CacheMisses))
+			e.Sample("tc_tenant_rejected_total", tl(t.Name), float64(t.Rejected))
+			e.Sample("tc_tenant_pages_served_total", tl(t.Name), float64(t.PagesServed))
+		}
+		e.GaugeFamily("tc_tenant_cache_entries", "Entries in the tenant's result cache.")
+		e.GaugeFamily("tc_tenant_cache_capacity", "Capacity of the tenant's result cache (its quota).")
+		e.GaugeFamily("tc_tenant_queue_depth", "Jobs waiting in the tenant's admission queue.")
+		for _, t := range tenants {
+			e.Sample("tc_tenant_cache_entries", tl(t.Name), float64(t.CacheLen))
+			e.Sample("tc_tenant_cache_capacity", tl(t.Name), float64(t.CacheCap))
+			e.Sample("tc_tenant_queue_depth", tl(t.Name), float64(t.QueueDepth))
+		}
+		adaptive := false
+		for _, t := range tenants {
+			adaptive = adaptive || t.Adaptive
+		}
+		if adaptive {
+			e.CounterFamily("tc_planner_decisions_total",
+				"Executed queries whose algorithm choice was scored against observed evidence.")
+			e.CounterFamily("tc_planner_hits_total",
+				"Scored decisions where the blended winner was the evidence-fastest algorithm.")
+			e.CounterFamily("tc_planner_explorations_total",
+				"Plan rankings that promoted a cold candidate (epsilon-greedy).")
+			e.CounterFamily("tc_planner_observations_total",
+				"Executed queries folded into the planner's observation store.")
+			e.GaugeFamily("tc_planner_hit_rate",
+				"Rolling fraction of scored decisions where the planner picked the evidence-fastest algorithm.")
+			for _, t := range tenants {
+				if !t.Adaptive {
+					continue
+				}
+				e.Sample("tc_planner_decisions_total", tl(t.Name), float64(t.Planner.Decisions))
+				e.Sample("tc_planner_hits_total", tl(t.Name), float64(t.Planner.Hits))
+				e.Sample("tc_planner_explorations_total", tl(t.Name), float64(t.Planner.Explorations))
+				e.Sample("tc_planner_observations_total", tl(t.Name), float64(t.Planner.Observations))
+				e.Sample("tc_planner_hit_rate", tl(t.Name), t.Planner.HitRate)
+			}
+		}
 	}
 
 	e.HistogramFamily("tc_request_duration_seconds", "End-to-end request latency.")

@@ -5,16 +5,26 @@
 //
 // The serving pipeline layers three production mechanics over the engine:
 //
-//   - admission control: queries flow through a bounded queue into a
-//     bounded worker pool built on core.RunConcurrent; when the queue is
-//     full, requests are rejected with 429 rather than piling up.
-//   - result caching: an LRU keyed on the canonical (algorithm, sources,
-//     config) triple answers repeated queries with zero page I/O, and
-//     single-flight deduplication collapses identical in-flight queries
-//     onto one engine execution.
+//   - admission control: queries flow through bounded per-tenant queues
+//     into a bounded worker pool built on core.RunConcurrent; when a
+//     tenant's queue is full, its requests are rejected with 429 rather
+//     than piling up, and tenants take turns round-robin so one tenant's
+//     flood never starves another.
+//   - result caching: a per-tenant LRU keyed on the canonical (algorithm,
+//     sources, config) triple answers repeated queries with zero page I/O,
+//     and single-flight deduplication collapses identical in-flight
+//     queries onto one engine execution. Each tenant's cache is its own
+//     quota: one tenant's working set cannot evict another's.
 //   - deadlines: every request carries a context deadline (default or
 //     per-request); expiry while queued or waiting returns 504 without
 //     charging the engine.
+//
+// A server hosts one graph by default (New) or several named graphs
+// (NewMulti): requests select a tenant with the graph= query parameter or
+// the "graph" field of a query body, and metrics carry tenant labels so a
+// scraper can tell the workloads apart. Each tenant also owns an adaptive
+// planner (internal/planner.Adaptive) fed by every executed query; see
+// docs/PLANNER.md.
 //
 // The stack is observable end to end: requests can carry phase-span
 // traces (ring-buffered behind GET /debug/traces), GET /metrics serves
@@ -28,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
@@ -53,11 +64,12 @@ type Options struct {
 	// Workers bounds the number of queries one engine batch executes
 	// concurrently (default 8).
 	Workers int
-	// QueueDepth bounds the admission queue; a full queue rejects with
-	// 429 (default 64).
+	// QueueDepth bounds each tenant's admission queue; a full queue
+	// rejects that tenant's requests with 429 (default 64).
 	QueueDepth int
-	// CacheEntries bounds the result cache (default 256; 0 keeps
-	// single-flight deduplication but retains nothing).
+	// CacheEntries bounds each tenant's result cache (default 256; 0 keeps
+	// single-flight deduplication but retains nothing). The bound is a
+	// per-tenant quota: every named graph gets its own cache of this size.
 	CacheEntries int
 	// DefaultTimeout is the per-request deadline when the request does not
 	// set one (default 30s).
@@ -68,15 +80,24 @@ type Options struct {
 	// Index, when set, answers GET /v1/reach from the prebuilt
 	// reachability index with zero page I/O and no engine work. The engine
 	// path remains the fallback when the index is absent or stale. It must
-	// cover the same node space as the database.
+	// cover the same node space as the database. Single-graph servers
+	// only; NewMulti takes per-graph indexes via NamedGraph.Index.
 	Index *index.Index
 	// Dynamic, when set, turns the server into a read/write graph service:
 	// POST /v1/arc accepts mutation batches and GET /v1/reach is answered
 	// by the dynamic service (sealed index generation or, while a rebuild
 	// is in flight, the delta overlay) instead of Options.Index. The
 	// engine endpoints (/v1/query, /v1/plan) keep serving the frozen base
-	// relation. See docs/DYNAMIC.md.
+	// relation. Single-graph servers only. See docs/DYNAMIC.md.
 	Dynamic *dynamic.Service
+	// Planner tunes each tenant's adaptive planner (decay, exploration
+	// epsilon, confidence, latency weight); zero values select the
+	// planner's defaults, including exploration off. See docs/PLANNER.md.
+	Planner planner.Config
+	// StaticPlan disables adaptive planning entirely: /v1/plan serves the
+	// pure static cost-model ranking and executed queries record no
+	// observations.
+	StaticPlan bool
 	// TraceBuffer, when positive, records the span tree of the most recent
 	// TraceBuffer requests in a ring served by GET /debug/traces. Zero
 	// disables request tracing entirely (no tracer is allocated and query
@@ -91,7 +112,9 @@ type Options struct {
 	SlowLogf func(format string, args ...any)
 	// ReplayArgs is the tcquery flag fragment reconstructing the served
 	// graph (e.g. "-n 2000 -f 5 -l 200 -seed 1" or "-db closure.tcdb"),
-	// prepended to the replay command of slow-query log entries.
+	// prepended to the replay command of slow-query log entries. With
+	// multiple graphs it describes the default tenant; other tenants'
+	// trace entries carry their graph name instead.
 	ReplayArgs string
 }
 
@@ -123,18 +146,28 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server serves reachability queries over one loaded database.
-type Server struct {
-	db     *core.Database
-	opts   Options
-	disp   *dispatcher
-	cache  *resultCache
-	idx    *index.Index
-	dyn    *dynamic.Service
-	met    *Metrics
-	traces *traceRing
-	mux    *http.ServeMux
-	algs   map[core.Algorithm]bool
+// NamedGraph is one tenant of a multi-graph server: a loaded database
+// served under a name clients select with the graph= request parameter.
+type NamedGraph struct {
+	Name string
+	DB   *core.Database
+	// Index, when set, answers this tenant's /v1/reach requests from the
+	// prebuilt reachability index.
+	Index *index.Index
+}
+
+// tenant is the per-graph serving state: the database, its result cache
+// (the tenant's quota), optional read index or dynamic service, the
+// adaptive planner fed by this tenant's executions, and the tenant's
+// counters.
+type tenant struct {
+	name  string
+	db    *core.Database
+	cache *resultCache
+	idx   *index.Index
+	dyn   *dynamic.Service
+	adapt *planner.Adaptive
+	tm    tenantCounters
 
 	planOnce sync.Once
 	profile  planner.Profile
@@ -145,21 +178,112 @@ type Server struct {
 	fpErr  error
 }
 
-// New builds a server over an already-loaded database.
-func New(db *core.Database, opts Options) *Server {
-	opts = opts.withDefaults()
-	s := &Server{
-		db:     db,
-		opts:   opts,
-		disp:   newDispatcher(db, opts.Workers, opts.QueueDepth),
-		cache:  newResultCache(opts.CacheEntries),
-		idx:    opts.Index,
-		dyn:    opts.Dynamic,
-		met:    NewMetrics(),
-		traces: newTraceRing(opts.TraceBuffer),
-		mux:    http.NewServeMux(),
-		algs:   make(map[core.Algorithm]bool),
+// ensureProfile builds the tenant's planner profile on first use (one DFS
+// plus sampled reachability probes) and reuses it for the server's
+// lifetime — the engine-visible graph is immutable.
+func (tn *tenant) ensureProfile() (planner.Profile, error) {
+	tn.planOnce.Do(func() {
+		arcs, err := tn.db.Arcs()
+		if err != nil {
+			tn.planErr = err
+			return
+		}
+		tn.profile, tn.planErr = planner.BuildProfile(graph.New(tn.db.N(), arcs), 16, 1)
+	})
+	return tn.profile, tn.planErr
+}
+
+// fingerprint is the tenant's dataset identity (CRC-64 of the base
+// relation, superseded by the dynamic service's live fingerprint).
+func (tn *tenant) fingerprint() (uint64, error) {
+	tn.fpOnce.Do(func() { tn.fp, tn.fpErr = tn.db.Fingerprint() })
+	if tn.fpErr != nil {
+		return 0, tn.fpErr
 	}
+	if tn.dyn != nil {
+		return tn.dyn.Stats().Fingerprint, nil
+	}
+	return tn.fp, nil
+}
+
+// Server serves reachability queries over one or more loaded databases.
+type Server struct {
+	opts   Options
+	disp   *dispatcher
+	met    *Metrics
+	traces *traceRing
+	mux    *http.ServeMux
+	algs   map[core.Algorithm]bool
+
+	tenants map[string]*tenant
+	names   []string // sorted tenant names (for stable output)
+	def     *tenant  // the tenant requests without graph= go to
+}
+
+// New builds a server over an already-loaded database, served as the
+// single default tenant.
+func New(db *core.Database, opts Options) *Server {
+	s, err := NewMulti([]NamedGraph{{Name: defaultTenant, DB: db, Index: opts.Index}}, opts)
+	if err != nil {
+		// A single default graph cannot fail multi-tenant validation.
+		panic(err)
+	}
+	return s
+}
+
+// NewMulti builds a server hosting several named graphs. The first graph
+// is the default tenant (requests without graph= go to it). Options.Index
+// and Options.Dynamic are single-graph features: Dynamic is rejected with
+// more than one graph, Index is ignored in favor of NamedGraph.Index.
+func NewMulti(graphs []NamedGraph, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if len(graphs) == 0 {
+		return nil, errors.New("server: no graphs to serve")
+	}
+	if opts.Dynamic != nil && len(graphs) > 1 {
+		return nil, errors.New("server: the dynamic graph service is single-graph only")
+	}
+	s := &Server{
+		opts:    opts,
+		met:     NewMetrics(),
+		traces:  newTraceRing(opts.TraceBuffer),
+		mux:     http.NewServeMux(),
+		algs:    make(map[core.Algorithm]bool),
+		tenants: make(map[string]*tenant, len(graphs)),
+	}
+	for i, g := range graphs {
+		name := g.Name
+		if name == "" {
+			name = defaultTenant
+		}
+		if g.DB == nil {
+			return nil, fmt.Errorf("server: graph %q has no database", name)
+		}
+		if _, dup := s.tenants[name]; dup {
+			return nil, fmt.Errorf("server: duplicate graph name %q", name)
+		}
+		tn := &tenant{
+			name:  name,
+			db:    g.DB,
+			cache: newResultCache(opts.CacheEntries),
+			idx:   g.Index,
+		}
+		if tn.idx != nil && tn.idx.N() != g.DB.N() {
+			return nil, fmt.Errorf("server: graph %q: index covers %d nodes but the database has %d",
+				name, tn.idx.N(), g.DB.N())
+		}
+		if !opts.StaticPlan {
+			tn.adapt = planner.NewAdaptive(opts.Planner)
+		}
+		s.tenants[name] = tn
+		s.names = append(s.names, name)
+		if i == 0 {
+			s.def = tn
+		}
+	}
+	sort.Strings(s.names)
+	s.def.dyn = opts.Dynamic
+	s.disp = newDispatcher(s.names, opts.Workers, opts.QueueDepth)
 	for _, a := range core.Algorithms() {
 		s.algs[a] = true
 	}
@@ -169,9 +293,9 @@ func New(db *core.Database, opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
-	if s.dyn != nil {
+	if s.def.dyn != nil {
 		s.mux.HandleFunc("POST /v1/arc", s.handleArc)
-		s.dyn.SetOnRebuild(func(gen int64, replayed int, took time.Duration) {
+		s.def.dyn.SetOnRebuild(func(gen int64, replayed int, took time.Duration) {
 			s.traces.add(TraceEntry{
 				Time:      time.Now(),
 				Endpoint:  "rebuild",
@@ -181,7 +305,7 @@ func New(db *core.Database, opts Options) *Server {
 			})
 		})
 	}
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -190,8 +314,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Metrics exposes the live counters (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.met }
 
+// Graphs returns the served tenant names, sorted.
+func (s *Server) Graphs() []string { return append([]string(nil), s.names...) }
+
 // Close stops admitting queries and drains in-flight work.
 func (s *Server) Close() { s.disp.Close() }
+
+// tenantFor resolves the tenant a request addresses: the graph= query
+// parameter, then the request body's graph field, then the default
+// tenant. An unknown name is a client error listing the served graphs.
+func (s *Server) tenantFor(r *http.Request, bodyGraph string) (*tenant, error) {
+	name := r.URL.Query().Get("graph")
+	if name == "" {
+		name = bodyGraph
+	}
+	if name == "" {
+		return s.def, nil
+	}
+	if tn, ok := s.tenants[name]; ok {
+		return tn, nil
+	}
+	return nil, badRequest("unknown graph %q (serving: %s)", name, strings.Join(s.names, ", "))
+}
 
 // httpError is an error with an HTTP status.
 type httpError struct {
@@ -224,7 +368,11 @@ const retryAfterMS = 50
 // write under the engine, which the next attempt may well not hit — is a
 // 503 with retry hints, never a 500: the request was well-formed and the
 // database is intact.
-func (s *Server) fail(w http.ResponseWriter, err error) {
+func (s *Server) fail(w http.ResponseWriter, err error) { s.failTenant(w, nil, err) }
+
+// failTenant is fail with per-tenant attribution: admission rejections
+// are additionally charged to the rejected tenant's counters.
+func (s *Server) failTenant(w http.ResponseWriter, tn *tenant, err error) {
 	status := http.StatusInternalServerError
 	transient := false
 	var he *httpError
@@ -251,6 +399,9 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case status == http.StatusTooManyRequests:
 		s.met.Rejected.Add(1)
+		if tn != nil {
+			tn.tm.Rejected.Add(1)
+		}
 	case status == http.StatusGatewayTimeout:
 		s.met.Timeouts.Add(1)
 	case transient:
@@ -284,6 +435,9 @@ const maxRequestParallelism = 64
 type queryRequest struct {
 	Algorithm string  `json:"algorithm"`
 	Sources   []int32 `json:"sources"` // empty = full closure
+	// Graph names the tenant on a multi-graph server (the graph= query
+	// parameter takes precedence; empty selects the default tenant).
+	Graph string `json:"graph,omitempty"`
 	// Engine configuration overrides.
 	BufferPages int     `json:"buffer_pages,omitempty"`
 	PagePolicy  string  `json:"page_policy,omitempty"`
@@ -304,6 +458,7 @@ type queryRequest struct {
 // queryResponse is the reply of POST /v1/query.
 type queryResponse struct {
 	Algorithm       string            `json:"algorithm"`
+	Graph           string            `json:"graph,omitempty"`
 	Sources         []int32           `json:"sources,omitempty"`
 	Cached          bool              `json:"cached"`
 	Deduplicated    bool              `json:"deduplicated"`
@@ -389,16 +544,16 @@ func newMetricRecord(m core.Metrics) metricRecord {
 	}
 }
 
-// buildRequest validates a query shape against the loaded database and
+// buildRequest validates a query shape against the tenant's database and
 // fills configuration defaults.
-func (s *Server) buildRequest(alg string, sources []int32, qr queryRequest) (core.Request, error) {
+func (s *Server) buildRequest(tn *tenant, alg string, sources []int32, qr queryRequest) (core.Request, error) {
 	a := core.Algorithm(strings.ToLower(strings.TrimSpace(alg)))
 	if !s.algs[a] {
 		return core.Request{}, badRequest("unknown algorithm %q (have %v)", alg, core.Algorithms())
 	}
 	for _, src := range sources {
-		if src < 1 || src > int32(s.db.N()) {
-			return core.Request{}, badRequest("source node %d outside 1..%d", src, s.db.N())
+		if src < 1 || src > int32(tn.db.N()) {
+			return core.Request{}, badRequest("source node %d outside 1..%d", src, tn.db.N())
 		}
 	}
 	cfg := s.opts.DefaultConfig
@@ -436,7 +591,8 @@ func (s *Server) buildRequest(alg string, sources []int32, qr queryRequest) (cor
 // cacheKey canonicalizes a request: the source set is sorted and
 // deduplicated (the engine's answer is a per-source map, so order and
 // multiplicity cannot matter), and every config field that changes engine
-// behaviour participates.
+// behaviour participates. Caches are per tenant, so the graph name does
+// not participate.
 func cacheKey(req core.Request) string {
 	srcs := append([]int32(nil), req.Query.Sources...)
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
@@ -481,27 +637,40 @@ func (s *Server) finishTrace(tr *obsv.Tracer, root *obsv.Span, e TraceEntry, ela
 	s.traces.add(e)
 }
 
-// execute runs one validated request through cache, single-flight and
-// admission, attributing served work to the metrics.
-func (s *Server) execute(ctx context.Context, req core.Request) (res *core.Result, hit, shared bool, err error) {
-	res, hit, shared, err = s.cache.Do(ctx, cacheKey(req), func() (*core.Result, error) {
-		r, err := s.disp.Submit(ctx, req)
+// execute runs one validated request through the tenant's cache,
+// single-flight and admission, attributing served work to the metrics and
+// feeding the executed result into the tenant's adaptive planner — the
+// observation loop that turns measured phase times and page I/O into
+// future plan rankings.
+func (s *Server) execute(ctx context.Context, tn *tenant, req core.Request) (res *core.Result, hit, shared bool, err error) {
+	res, hit, shared, err = tn.cache.Do(ctx, cacheKey(req), func() (*core.Result, error) {
+		r, err := s.disp.SubmitTenant(ctx, tn.name, tn.db, req)
 		if err != nil {
 			return nil, err
 		}
-		s.met.PagesServed.Add(r.Metrics.TotalIO())
+		io := r.Metrics.TotalIO()
+		s.met.PagesServed.Add(io)
+		tn.tm.PagesServed.Add(io)
 		s.met.TuplesServed.Add(r.Metrics.DistinctTuples)
 		s.met.ObserveEngine(string(req.Alg), r.Metrics)
+		if tn.adapt != nil {
+			if prof, perr := tn.ensureProfile(); perr == nil {
+				tn.adapt.Observe(prof, len(req.Query.Sources), req.Cfg.BufferPages, req.Alg,
+					r.Metrics.RestructureTime+r.Metrics.ComputeTime, io)
+			}
+		}
 		return r, nil
 	})
 	if err == nil {
 		switch {
 		case hit:
 			s.met.CacheHits.Add(1)
+			tn.tm.CacheHits.Add(1)
 		case shared:
 			s.met.Deduplicated.Add(1)
 		default:
 			s.met.CacheMisses.Add(1)
+			tn.tm.CacheMisses.Add(1)
 		}
 	}
 	return res, hit, shared, err
@@ -525,7 +694,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badRequest("bad request body: %v", err))
 		return
 	}
-	req, err := s.buildRequest(qr.Algorithm, qr.Sources, qr)
+	tn, err := s.tenantFor(r, qr.Graph)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	req, err := s.buildRequest(tn, qr.Algorithm, qr.Sources, qr)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -541,20 +715,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		entry = TraceEntry{
 			Endpoint:  "query",
 			Algorithm: string(req.Alg),
+			Graph:     s.traceGraph(tn),
 			Sources:   req.Query.Sources,
 			Replay:    replayCommand(s.opts.ReplayArgs, req),
 		}
 	}
 	ctx, cancel := s.requestContext(r, qr.TimeoutMS)
 	defer cancel()
-	res, hit, shared, err := s.execute(ctx, req)
+	res, hit, shared, err := s.execute(ctx, tn, req)
 	if err != nil {
 		entry.Error = err.Error()
 		s.finishTrace(tr, root, entry, time.Since(start))
-		s.fail(w, err)
+		s.failTenant(w, tn, err)
 		return
 	}
 	s.met.Queries.Add(1)
+	tn.tm.Queries.Add(1)
 	elapsed := time.Since(start)
 	s.met.ObserveLatency(elapsed)
 	entry.Cached, entry.Deduplicated = hit, shared
@@ -562,6 +738,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.finishTrace(tr, root, entry, elapsed)
 	resp := queryResponse{
 		Algorithm:       string(req.Alg),
+		Graph:           s.responseGraph(tn),
 		Sources:         req.Query.Sources,
 		Cached:          hit,
 		Deduplicated:    shared,
@@ -578,10 +755,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// responseGraph names the tenant in responses of multi-graph servers;
+// single-graph responses stay byte-compatible with earlier versions.
+func (s *Server) responseGraph(tn *tenant) string {
+	if len(s.tenants) == 1 {
+		return ""
+	}
+	return tn.name
+}
+
+// traceGraph mirrors responseGraph for trace entries.
+func (s *Server) traceGraph(tn *tenant) string { return s.responseGraph(tn) }
+
 // reachResponse is the reply of GET /v1/reach.
 type reachResponse struct {
 	Src       int32   `json:"src"`
 	Dst       int32   `json:"dst"`
+	Graph     string  `json:"graph,omitempty"`
 	Reachable bool    `json:"reachable"`
 	Cached    bool    `json:"cached"`
 	IndexHit  bool    `json:"index_hit,omitempty"`
@@ -607,24 +797,29 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, badRequest("reach needs integer src and dst parameters"))
 		return
 	}
+	tn, err := s.tenantFor(r, "")
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	var tr *obsv.Tracer
 	var root *obsv.Span
 	if s.tracing() {
 		tr = obsv.NewTracer()
 		root = tr.Start("reach", obsv.KV("src", src), obsv.KV("dst", dst))
 	}
-	if s.dyn != nil {
-		if src < 1 || src > int32(s.dyn.N()) {
-			s.fail(w, badRequest("source node %d outside 1..%d", src, s.dyn.N()))
+	if tn.dyn != nil {
+		if src < 1 || src > int32(tn.dyn.N()) {
+			s.fail(w, badRequest("source node %d outside 1..%d", src, tn.dyn.N()))
 			return
 		}
-		if dst < 1 || dst > int32(s.dyn.N()) {
-			s.fail(w, badRequest("destination node %d outside 1..%d", dst, s.dyn.N()))
+		if dst < 1 || dst > int32(tn.dyn.N()) {
+			s.fail(w, badRequest("destination node %d outside 1..%d", dst, tn.dyn.N()))
 			return
 		}
 		observed := int64(atoiDefault(r.URL.Query().Get("seq"), 0))
 		probe := root.Child("dynamic-probe")
-		reachable, hit, seq, err := s.dyn.Reach(src, dst, observed)
+		reachable, hit, seq, err := tn.dyn.Reach(src, dst, observed)
 		if err != nil {
 			probe.Finish()
 			s.finishTrace(tr, root, TraceEntry{
@@ -641,6 +836,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 			s.met.OverlayReads.Add(1)
 		}
 		s.met.Reaches.Add(1)
+		tn.tm.Reaches.Add(1)
 		elapsed := time.Since(start)
 		s.met.ObserveLatency(elapsed)
 		s.finishTrace(tr, root, TraceEntry{
@@ -653,40 +849,41 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if s.idx != nil && !s.idx.Stale() {
-		if src < 1 || src > int32(s.db.N()) {
-			s.fail(w, badRequest("source node %d outside 1..%d", src, s.db.N()))
+	if tn.idx != nil && !tn.idx.Stale() {
+		if src < 1 || src > int32(tn.db.N()) {
+			s.fail(w, badRequest("source node %d outside 1..%d", src, tn.db.N()))
 			return
 		}
-		if dst < 1 || dst > int32(s.db.N()) {
-			s.fail(w, badRequest("destination node %d outside 1..%d", dst, s.db.N()))
+		if dst < 1 || dst > int32(tn.db.N()) {
+			s.fail(w, badRequest("destination node %d outside 1..%d", dst, tn.db.N()))
 			return
 		}
 		probe := root.Child("index-probe")
-		reachable := s.idx.Reach(src, dst)
+		reachable := tn.idx.Reach(src, dst)
 		probe.Annotate(obsv.KV("reachable", reachable))
 		probe.Finish()
 		s.met.IndexHits.Add(1)
 		s.met.Reaches.Add(1)
+		tn.tm.Reaches.Add(1)
 		elapsed := time.Since(start)
 		s.met.ObserveLatency(elapsed)
 		s.finishTrace(tr, root, TraceEntry{
 			Endpoint: "reach", Sources: []int32{src}, IndexHit: true,
 		}, elapsed)
 		writeJSON(w, http.StatusOK, reachResponse{
-			Src: src, Dst: dst, Reachable: reachable, IndexHit: true,
+			Src: src, Dst: dst, Graph: s.responseGraph(tn), Reachable: reachable, IndexHit: true,
 			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 		})
 		return
 	}
 	s.met.EngineFallbacks.Add(1)
-	req, err := s.buildRequest(string(core.SRCH), []int32{src}, queryRequest{})
+	req, err := s.buildRequest(tn, string(core.SRCH), []int32{src}, queryRequest{})
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	if dst < 1 || dst > int32(s.db.N()) {
-		s.fail(w, badRequest("destination node %d outside 1..%d", dst, s.db.N()))
+	if dst < 1 || dst > int32(tn.db.N()) {
+		s.fail(w, badRequest("destination node %d outside 1..%d", dst, tn.db.N()))
 		return
 	}
 	var entry TraceEntry
@@ -695,20 +892,22 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		entry = TraceEntry{
 			Endpoint:  "reach",
 			Algorithm: string(core.SRCH),
+			Graph:     s.traceGraph(tn),
 			Sources:   []int32{src},
 			Replay:    replayCommand(s.opts.ReplayArgs, req),
 		}
 	}
 	ctx, cancel := s.requestContext(r, atoiDefault(r.URL.Query().Get("timeout_ms"), 0))
 	defer cancel()
-	res, hit, shared, err := s.execute(ctx, req)
+	res, hit, shared, err := s.execute(ctx, tn, req)
 	if err != nil {
 		entry.Error = err.Error()
 		s.finishTrace(tr, root, entry, time.Since(start))
-		s.fail(w, err)
+		s.failTenant(w, tn, err)
 		return
 	}
 	s.met.Reaches.Add(1)
+	tn.tm.Reaches.Add(1)
 	elapsed := time.Since(start)
 	s.met.ObserveLatency(elapsed)
 	reachable := false
@@ -726,7 +925,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	root.Annotate(obsv.KV("reachable", reachable), obsv.KV("cached", hit))
 	s.finishTrace(tr, root, entry, elapsed)
 	writeJSON(w, http.StatusOK, reachResponse{
-		Src: src, Dst: dst, Reachable: reachable, Cached: hit,
+		Src: src, Dst: dst, Graph: s.responseGraph(tn), Reachable: reachable, Cached: hit,
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond), PageIO: io,
 	})
 }
@@ -757,12 +956,13 @@ func (s *Server) handleArc(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.met.InFlight.Add(1)
 	defer s.met.InFlight.Add(-1)
+	dyn := s.def.dyn
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxArcBody))
 	if err != nil {
 		s.fail(w, badRequest("read mutation batch: %v", err))
 		return
 	}
-	batch, err := dynamic.ParseBatch(body, s.dyn.N(), s.dyn.MaxBatchOps())
+	batch, err := dynamic.ParseBatch(body, dyn.N(), dyn.MaxBatchOps())
 	if err != nil {
 		s.fail(w, badRequest("%v", err))
 		return
@@ -774,7 +974,7 @@ func (s *Server) handleArc(w http.ResponseWriter, r *http.Request) {
 		root = tr.Start("arc", obsv.KV("ops", len(batch.Ops)))
 	}
 	apply := root.Child("apply")
-	res, err := s.dyn.Apply(batch.Ops)
+	res, err := dyn.Apply(batch.Ops)
 	apply.Finish()
 	if err != nil {
 		s.finishTrace(tr, root, TraceEntry{Endpoint: "arc", Error: err.Error()}, time.Since(start))
@@ -802,10 +1002,16 @@ func (s *Server) handleArc(w http.ResponseWriter, r *http.Request) {
 
 // planResponse is the reply of GET /v1/plan.
 type planResponse struct {
-	Profile   planProfile    `json:"profile"`
+	Profile planProfile `json:"profile"`
+	Graph   string      `json:"graph,omitempty"`
+	// Mode is "static" (pure cost-model ranking) or "adaptive" (cost model
+	// blended with the tenant's decayed observation store).
+	Mode      string         `json:"mode,omitempty"`
 	Sources   int            `json:"sources"`
 	BufferM   int            `json:"buffer_pages"`
 	Estimates []planEstimate `json:"estimates"` // cheapest first
+	// Planner is the tenant's rolling decision record (adaptive mode).
+	Planner *planStats `json:"planner,omitempty"`
 }
 
 type planProfile struct {
@@ -824,22 +1030,39 @@ type planEstimate struct {
 	Algorithm string  `json:"algorithm"`
 	IO        float64 `json:"io"`
 	Why       string  `json:"why"`
+	// Adaptive-mode evidence (omitted in static mode and for cold cells).
+	BlendedIO         float64 `json:"blended_io,omitempty"`
+	Samples           float64 `json:"samples,omitempty"`
+	ObservedIO        float64 `json:"observed_io,omitempty"`
+	ObservedLatencyMS float64 `json:"observed_latency_ms,omitempty"`
+	Explored          bool    `json:"explored,omitempty"`
 }
 
-// handlePlan ranks the algorithms for the loaded graph. The statistical
+// planStats is the JSON shape of the planner's rolling counters.
+type planStats struct {
+	Decisions    int64   `json:"decisions"`
+	Hits         int64   `json:"hits"`
+	HitRate      float64 `json:"hit_rate"`
+	Explorations int64   `json:"explorations"`
+	Observations int64   `json:"observations"`
+}
+
+// handlePlan ranks the algorithms for the tenant's graph. The statistical
 // profile (one DFS plus sampled reachability probes) is built on first use
-// and reused for the server's lifetime — the graph is immutable.
+// and reused for the server's lifetime — the engine-visible graph is
+// immutable. By default the ranking is adaptive: the static cost model
+// blended with the tenant's decayed observation store (identical to the
+// static ranking while the store is cold). ?mode=static forces the pure
+// cost-model view.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	s.planOnce.Do(func() {
-		arcs, err := s.db.Arcs()
-		if err != nil {
-			s.planErr = err
-			return
-		}
-		s.profile, s.planErr = planner.BuildProfile(graph.New(s.db.N(), arcs), 16, 1)
-	})
-	if s.planErr != nil {
-		s.fail(w, fmt.Errorf("planner profile: %w", s.planErr))
+	tn, err := s.tenantFor(r, "")
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	profile, err := tn.ensureProfile()
+	if err != nil {
+		s.fail(w, fmt.Errorf("planner profile: %w", err))
 		return
 	}
 	numSources := atoiDefault(r.URL.Query().Get("sources"), 1)
@@ -847,55 +1070,69 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		numSources = 0
 	}
 	m := atoiDefault(r.URL.Query().Get("m"), s.opts.DefaultConfig.BufferPages)
-	ests := planner.Estimates(s.profile, numSources, m)
+	static := tn.adapt == nil || r.URL.Query().Get("mode") == "static"
 	resp := planResponse{
 		Profile: planProfile{
-			Nodes: s.profile.N, Arcs: s.profile.Arcs,
-			H: s.profile.H, W: s.profile.W,
-			AvgDegree: s.profile.AvgDegree, Reach: s.profile.Reach,
-			CondNodes: s.profile.CondNodes, CondArcs: s.profile.CondArcs,
-			Density: s.profile.Density,
+			Nodes: profile.N, Arcs: profile.Arcs,
+			H: profile.H, W: profile.W,
+			AvgDegree: profile.AvgDegree, Reach: profile.Reach,
+			CondNodes: profile.CondNodes, CondArcs: profile.CondArcs,
+			Density: profile.Density,
 		},
+		Graph:   s.responseGraph(tn),
 		Sources: numSources,
 		BufferM: m,
 	}
-	for _, e := range ests {
-		resp.Estimates = append(resp.Estimates, planEstimate{Algorithm: string(e.Alg), IO: e.IO, Why: e.Why})
+	if static {
+		resp.Mode = "static"
+		for _, e := range planner.Estimates(profile, numSources, m) {
+			resp.Estimates = append(resp.Estimates, planEstimate{Algorithm: string(e.Alg), IO: e.IO, Why: e.Why})
+		}
+	} else {
+		resp.Mode = "adaptive"
+		for _, d := range tn.adapt.Rank(profile, numSources, m) {
+			resp.Estimates = append(resp.Estimates, planEstimate{
+				Algorithm:         string(d.Alg),
+				IO:                d.IO,
+				Why:               d.Why,
+				BlendedIO:         d.Blended,
+				Samples:           d.Samples,
+				ObservedIO:        d.ObsIO,
+				ObservedLatencyMS: float64(d.ObsLatency) / float64(time.Millisecond),
+				Explored:          d.Explored,
+			})
+		}
+		st := tn.adapt.Stats()
+		resp.Planner = &planStats{
+			Decisions:    st.Decisions,
+			Hits:         st.Hits,
+			HitRate:      st.HitRate,
+			Explorations: st.Explorations,
+			Observations: st.Observations,
+		}
 	}
 	s.met.Plans.Add(1)
+	tn.tm.Plans.Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness plus the dataset identity a routing tier
-// needs to decide whether this replica may join a fleet: the graph's
-// CRC-64 fingerprint and, when a reachability index is loaded, its shape
-// and generation. Replicas answering with different fingerprints serve
-// different graphs and must not share a consistent-hash ring.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.fpOnce.Do(func() { s.fp, s.fpErr = s.db.Fingerprint() })
-	if s.fpErr != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]any{
-			"status": "degraded",
-			"error":  fmt.Sprintf("dataset fingerprint: %v", s.fpErr),
-		})
-		return
+// healthBlock is one tenant's healthz fragment: graph shape, dataset
+// identity, and the index/dynamic state when present.
+func (tn *tenant) healthBlock() (map[string]any, error) {
+	fp, err := tn.fingerprint()
+	if err != nil {
+		return nil, err
 	}
-	resp := map[string]any{
-		"status":         "ok",
-		"nodes":          s.db.N(),
-		"arcs":           s.db.NumArcs(),
-		"fingerprint":    fmt.Sprintf("%016x", s.fp),
-		"uptime_seconds": time.Since(s.met.start).Seconds(),
+	b := map[string]any{
+		"nodes":       tn.db.N(),
+		"arcs":        tn.db.NumArcs(),
+		"fingerprint": fmt.Sprintf("%016x", fp),
 	}
-	if s.dyn != nil {
-		// The dynamic service owns the live graph: its fingerprint and arc
-		// count supersede the frozen base relation's, so a routing tier
-		// comparing fleets sees the mutated dataset identity.
-		st := s.dyn.Stats()
-		cur := s.dyn.Index()
-		resp["arcs"] = st.NumArcs
-		resp["fingerprint"] = fmt.Sprintf("%016x", st.Fingerprint)
-		resp["index"] = map[string]any{
+	if tn.dyn != nil {
+		st := tn.dyn.Stats()
+		cur := tn.dyn.Index()
+		b["arcs"] = st.NumArcs
+		b["index"] = map[string]any{
 			"nodes":      cur.N(),
 			"arcs":       cur.NumArcs(),
 			"stale":      st.Dirty || cur.Stale(),
@@ -903,7 +1140,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"chains":     cur.Chains(),
 			"builder":    cur.Builder(),
 		}
-		resp["dynamic"] = map[string]any{
+		b["dynamic"] = map[string]any{
 			"seq":        st.Seq,
 			"generation": st.Generation,
 			"pending":    st.Pending,
@@ -911,16 +1148,65 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"rebuilds":   st.Rebuilds,
 			"mutations":  st.Mutations,
 		}
-	} else if s.idx != nil {
-		resp["index"] = map[string]any{
-			"nodes":      s.idx.N(),
-			"arcs":       s.idx.NumArcs(),
-			"stale":      s.idx.Stale(),
-			"generation": s.idx.Generation(),
-			"chains":     s.idx.Chains(),
-			"builder":    s.idx.Builder(),
+	} else if tn.idx != nil {
+		b["index"] = map[string]any{
+			"nodes":      tn.idx.N(),
+			"arcs":       tn.idx.NumArcs(),
+			"stale":      tn.idx.Stale(),
+			"generation": tn.idx.Generation(),
+			"chains":     tn.idx.Chains(),
+			"builder":    tn.idx.Builder(),
 		}
 	}
+	return b, nil
+}
+
+// handleHealthz reports liveness plus the dataset identity a routing tier
+// needs to decide whether this replica may join a fleet: the graph's
+// CRC-64 fingerprint and, when a reachability index is loaded, its shape
+// and generation. Replicas answering with different fingerprints serve
+// different graphs and must not share a consistent-hash ring. A
+// multi-graph server reports each tenant under "graphs" and a combined
+// top-level fingerprint folding every tenant's identity, so fleets must
+// agree tenant by tenant.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	graphs := make(map[string]any, len(s.names))
+	for _, name := range s.names {
+		b, err := s.tenants[name].healthBlock()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"status": "degraded",
+				"error":  fmt.Sprintf("dataset fingerprint (%s): %v", name, err),
+			})
+			return
+		}
+		graphs[name] = b
+	}
+	def := graphs[s.def.name].(map[string]any)
+	resp := map[string]any{
+		"status":         "ok",
+		"nodes":          def["nodes"],
+		"arcs":           def["arcs"],
+		"fingerprint":    def["fingerprint"],
+		"uptime_seconds": time.Since(s.met.start).Seconds(),
+	}
+	if idx, ok := def["index"]; ok {
+		resp["index"] = idx
+	}
+	if dyn, ok := def["dynamic"]; ok {
+		resp["dynamic"] = dyn
+	}
+	if len(s.names) > 1 {
+		// Fold every tenant's identity into the top-level fingerprint: two
+		// multi-graph replicas agree exactly when every named graph agrees.
+		h := fnv.New64a()
+		for _, name := range s.names {
+			fmt.Fprintf(h, "%s=%s\n", name, graphs[name].(map[string]any)["fingerprint"])
+		}
+		resp["fingerprint"] = fmt.Sprintf("%016x", h.Sum64())
+		resp["graph"] = s.def.name
+	}
+	resp["graphs"] = graphs
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -933,19 +1219,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(s.met.Prometheus(s.disp.QueueDepth(), s.disp.QueueCap(), s.indexState())))
+	_, _ = w.Write([]byte(s.met.Prometheus(s.disp.QueueDepth(), s.disp.QueueCap(), s.indexState(), s.tenantStates()...)))
+}
+
+// tenantStates snapshots every tenant's counters, cache occupancy, queue
+// depth and planner statistics for the metrics exposition.
+func (s *Server) tenantStates() []TenantState {
+	out := make([]TenantState, 0, len(s.names))
+	for _, name := range s.names {
+		tn := s.tenants[name]
+		ts := TenantState{
+			Name:        name,
+			Queries:     tn.tm.Queries.Load(),
+			Reaches:     tn.tm.Reaches.Load(),
+			Plans:       tn.tm.Plans.Load(),
+			CacheHits:   tn.tm.CacheHits.Load(),
+			CacheMisses: tn.tm.CacheMisses.Load(),
+			Rejected:    tn.tm.Rejected.Load(),
+			PagesServed: tn.tm.PagesServed.Load(),
+			CacheLen:    tn.cache.Len(),
+			CacheCap:    s.opts.CacheEntries,
+			QueueDepth:  s.disp.TenantQueueDepth(name),
+		}
+		if tn.adapt != nil {
+			ts.Adaptive = true
+			ts.Planner = tn.adapt.Stats()
+		}
+		out = append(out, ts)
+	}
+	return out
 }
 
 // indexState summarizes the serving index for the metrics exposition: the
 // dynamic service when present (live generation, pending log, merge and
-// rebuild counters), the static index otherwise.
+// rebuild counters), the static index otherwise. Index gauges cover the
+// default tenant; per-tenant index state is in /healthz.
 func (s *Server) indexState() IndexState {
-	if s.dyn != nil {
-		st := s.dyn.Stats()
+	if s.def.dyn != nil {
+		st := s.def.dyn.Stats()
 		return IndexState{
 			Present:    true,
 			Dynamic:    true,
-			Stale:      st.Dirty || s.dyn.Index().Stale(),
+			Stale:      st.Dirty || s.def.dyn.Index().Stale(),
 			Generation: st.Generation,
 			Seq:        st.Seq,
 			Pending:    st.Pending,
@@ -954,11 +1269,11 @@ func (s *Server) indexState() IndexState {
 			Rebuilds:   st.Rebuilds,
 		}
 	}
-	if s.idx != nil {
+	if s.def.idx != nil {
 		return IndexState{
 			Present:    true,
-			Stale:      s.idx.Stale(),
-			Generation: int64(s.idx.Generation()),
+			Stale:      s.def.idx.Stale(),
+			Generation: int64(s.def.idx.Generation()),
 		}
 	}
 	return IndexState{}

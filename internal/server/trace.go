@@ -22,6 +22,7 @@ type TraceEntry struct {
 	Time         time.Time     `json:"time"`
 	Endpoint     string        `json:"endpoint"`
 	Algorithm    string        `json:"algorithm,omitempty"`
+	Graph        string        `json:"graph,omitempty"`
 	Sources      []int32       `json:"sources,omitempty"`
 	Cached       bool          `json:"cached,omitempty"`
 	Deduplicated bool          `json:"deduplicated,omitempty"`
